@@ -1,0 +1,24 @@
+//! # miniapps — synthetic workloads driving the evaluation
+//!
+//! The paper evaluates with two applications that are not publicly
+//! reproducible at laptop scale: the CleverLeaf AMR shock-hydro
+//! mini-app on a Quartz cluster node, and a 4096-rank ParaDiS dataset.
+//! This crate provides deterministic substitutes (see DESIGN.md §3):
+//!
+//! * [`CleverLeaf`] — a fully instrumented proxy application that
+//!   exercises the real annotation, snapshot and on-line aggregation
+//!   code paths of `caliper-runtime`, driven by the workload model in
+//!   [`model`] (triple-point problem structure: kernels, AMR levels,
+//!   MPI mix, rank imbalance).
+//! * [`paradis`] — a generator for the per-rank time-series profile
+//!   datasets of §V-C (2 174 records per rank, 85 unique regions).
+
+#![warn(missing_docs)]
+
+pub mod cleverleaf;
+pub mod model;
+pub mod paradis;
+
+pub use cleverleaf::{CleverLeaf, CleverLeafAttrs, WorkMode};
+pub use model::CleverLeafParams;
+pub use paradis::ParaDisParams;

@@ -1,0 +1,210 @@
+//! Criterion micro-benchmarks: the on-line snapshot-processing hot path
+//! and the design-choice ablations from DESIGN.md §4.
+//!
+//! Groups:
+//! * `snapshot`      — cost of one begin/end pair under the different
+//!   service configurations (baseline / trace / schemes A, B, C): the
+//!   per-event cost behind Figure 3.
+//! * `context_tree`  — blackboard compression ablation: context-tree
+//!   node chain vs. copying flat attribute lists into each snapshot.
+//! * `key_hash`      — FxHash vs. SipHash for aggregation-key lookups.
+//! * `agg_concurrency` — per-thread aggregation DBs (lock-free design
+//!   of §IV-B) vs. one mutex-protected shared DB.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use caliper_data::{fxhash, AttributeStore, ContextTree, FlatRecord, Value, ValueType, NODE_NONE};
+use caliper_query::{parse_query, AggregationSpec, Aggregator};
+use caliper_runtime::{Caliper, Clock, Config};
+
+const SCHEME_A: &str = "function,annotation,kernel,amr.level,mpi.function,mpi.rank";
+const SCHEME_B: &str = "kernel,mpi.function";
+const SCHEME_C: &str =
+    "function,annotation,kernel,amr.level,iteration#mainloop,mpi.function,mpi.rank";
+const OPS: &str = "count,sum(time.duration),min(time.duration),max(time.duration)";
+
+/// One annotated begin/work/end cycle under a given configuration.
+fn bench_snapshot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    let configs = [
+        ("baseline", Config::baseline()),
+        ("trace", Config::event_trace()),
+        ("scheme_A", Config::event_aggregate(SCHEME_A, OPS)),
+        ("scheme_B", Config::event_aggregate(SCHEME_B, OPS)),
+        ("scheme_C", Config::event_aggregate(SCHEME_C, OPS)),
+    ];
+    for (name, config) in configs {
+        group.bench_function(BenchmarkId::new("begin_end", name), |b| {
+            let caliper = Caliper::with_clock(config.clone(), Clock::virtual_clock());
+            let kernel = caliper.region_attribute("kernel");
+            let iter = caliper.attribute(
+                "iteration#mainloop",
+                ValueType::Int,
+                caliper_data::Properties::AS_VALUE,
+            );
+            let mut scope = caliper.make_thread_scope();
+            let mut i = 0i64;
+            b.iter(|| {
+                scope.begin(&iter, i % 100);
+                scope.begin(&kernel, "calc-dt");
+                scope.advance_time(1_000);
+                scope.end(&kernel).unwrap();
+                scope.end(&iter).unwrap();
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: compressed snapshots (context-tree node reference) vs.
+/// expanding the whole attribute stack into every snapshot record.
+fn bench_context_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_tree");
+    let depth = 8usize;
+
+    group.bench_function("compressed_node_ref", |b| {
+        let tree = ContextTree::new();
+        let mut node = NODE_NONE;
+        for i in 0..depth {
+            node = tree.get_child(node, 0, &Value::str(format!("f{i}")));
+        }
+        b.iter(|| {
+            // Snapshot cost: one node reference copy.
+            let mut rec = caliper_data::SnapshotRecord::new();
+            rec.push_node(black_box(node));
+            black_box(rec);
+        });
+    });
+
+    group.bench_function("flat_copy", |b| {
+        let values: Vec<Value> = (0..depth).map(|i| Value::str(format!("f{i}"))).collect();
+        b.iter(|| {
+            // Snapshot cost without compression: copy every level.
+            let mut rec = FlatRecord::new();
+            for v in &values {
+                rec.push(0, v.clone());
+            }
+            black_box(rec);
+        });
+    });
+
+    group.bench_function("get_child_hot", |b| {
+        let tree = ContextTree::new();
+        let parent = tree.get_child(NODE_NONE, 0, &Value::str("main"));
+        let value = Value::str("calc-dt");
+        b.iter(|| black_box(tree.get_child(black_box(parent), 0, &value)));
+    });
+    group.finish();
+}
+
+/// Ablation: FxHash (in-repo) vs. SipHash (std default) over aggregation
+/// keys.
+fn bench_key_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_hash");
+    let key: Vec<Option<Value>> = vec![
+        Some(Value::str("main/hydro_cycle")),
+        Some(Value::str("calc-dt")),
+        Some(Value::Int(2)),
+        Some(Value::Int(57)),
+        None,
+        Some(Value::Int(11)),
+    ];
+    group.bench_function("fxhash", |b| {
+        b.iter(|| black_box(fxhash(black_box(&key))));
+    });
+    group.bench_function("siphash", |b| {
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        b.iter(|| black_box(s.hash_one(black_box(&key))));
+    });
+    group.finish();
+}
+
+fn sample_records(store: &Arc<AttributeStore>, n: usize) -> Vec<FlatRecord> {
+    let kernel = store.create_simple("kernel", ValueType::Str);
+    let rank = store.create_simple("mpi.rank", ValueType::Int);
+    let dur = store.create_simple("time.duration", ValueType::Float);
+    let kernels = ["calc-dt", "pdv", "advec-cell", "advec-mom"];
+    (0..n)
+        .map(|i| {
+            let mut rec = FlatRecord::new();
+            rec.push(kernel.id(), Value::str(kernels[i % kernels.len()]));
+            rec.push(rank.id(), Value::Int((i % 8) as i64));
+            rec.push(dur.id(), Value::Float(i as f64));
+            rec
+        })
+        .collect()
+}
+
+/// Ablation: per-thread aggregation databases (the paper's lock-free
+/// design) vs. a shared DB behind a mutex, 4 threads feeding records.
+fn bench_agg_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agg_concurrency");
+    group.sample_size(10);
+    let store = Arc::new(AttributeStore::new());
+    let records = Arc::new(sample_records(&store, 4096));
+    let spec = AggregationSpec::from_query(
+        &parse_query("AGGREGATE count, sum(time.duration) GROUP BY kernel, mpi.rank").unwrap(),
+    );
+    const THREADS: usize = 4;
+
+    group.bench_function("per_thread_dbs", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    let records = Arc::clone(&records);
+                    let spec = spec.clone();
+                    std::thread::spawn(move || {
+                        let mut agg = Aggregator::new(spec, store);
+                        for rec in records.iter() {
+                            agg.add(rec);
+                        }
+                        agg.len()
+                    })
+                })
+                .collect();
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            black_box(total)
+        });
+    });
+
+    group.bench_function("shared_locked_db", |b| {
+        b.iter(|| {
+            let shared = Arc::new(parking_lot::Mutex::new(Aggregator::new(
+                spec.clone(),
+                Arc::clone(&store),
+            )));
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    let records = Arc::clone(&records);
+                    std::thread::spawn(move || {
+                        for rec in records.iter() {
+                            shared.lock().add(rec);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let len = shared.lock().len();
+            black_box(len)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_path,
+    bench_context_tree,
+    bench_key_hash,
+    bench_agg_concurrency
+);
+criterion_main!(benches);

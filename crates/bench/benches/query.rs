@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks: the off-line query path.
+//!
+//! Groups:
+//! * `parser`          — query-text parsing cost.
+//! * `aggregate`       — streaming aggregation throughput over a
+//!   ParaDiS-shaped record stream, per scheme.
+//! * `stream_vs_trace` — ablation: streaming aggregation vs.
+//!   trace-then-aggregate (buffer all records, then aggregate).
+//! * `merge`           — aggregation-database merge (one tree-reduction
+//!   step), as a function of database size.
+//! * `cali_codec`      — `.cali` encode/decode throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use caliper_format::Dataset;
+use caliper_query::{parse_query, AggregationSpec, Aggregator, Pipeline};
+use miniapps::paradis::{self, ParaDisParams};
+
+fn paradis_dataset() -> Dataset {
+    paradis::generate_rank(&ParaDisParams::default(), 0)
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    let queries = [
+        ("simple", "AGGREGATE count GROUP BY function"),
+        (
+            "paper_amr",
+            "AGGREGATE sum(time.duration) WHERE not(mpi.function) GROUP BY amr.level,iteration#mainloop",
+        ),
+        (
+            "complex",
+            "LET t = scale(time.duration, 0.001) \
+             AGGREGATE count, sum(t), min(t), max(t), avg(t) AS mean \
+             WHERE not(mpi.function), mpi.rank >= 2, kernel != idle \
+             GROUP BY kernel, amr.level ORDER BY mean desc FORMAT json",
+        ),
+    ];
+    for (name, text) in queries {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(parse_query(black_box(text)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let ds = paradis_dataset();
+    let records: Vec<_> = ds.flat_records().collect();
+    let mut group = c.benchmark_group("aggregate");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    let schemes = [
+        ("by_region", "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel"),
+        (
+            "by_region_iter",
+            "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel, iteration",
+        ),
+        (
+            "filtered",
+            "AGGREGATE sum(sum#time.duration) WHERE not(mpi.function) GROUP BY kernel, iteration",
+        ),
+    ];
+    for (name, query) in schemes {
+        let spec = AggregationSpec::from_query(&parse_query(query).unwrap());
+        group.bench_function(BenchmarkId::new("stream", name), |b| {
+            b.iter(|| {
+                let mut agg = Aggregator::new(spec.clone(), Arc::clone(&ds.store));
+                for rec in &records {
+                    agg.add(rec);
+                }
+                black_box(agg.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: streaming reduction (constant memory) vs. buffering the
+/// trace and aggregating afterwards (what off-line-only processing
+/// would do).
+fn bench_stream_vs_trace(c: &mut Criterion) {
+    let ds = paradis_dataset();
+    let records: Vec<_> = ds.flat_records().collect();
+    let spec = AggregationSpec::from_query(
+        &parse_query("AGGREGATE sum(sum#time.duration) GROUP BY kernel, iteration").unwrap(),
+    );
+    let mut group = c.benchmark_group("stream_vs_trace");
+    group.throughput(Throughput::Elements(records.len() as u64));
+
+    group.bench_function("stream", |b| {
+        b.iter(|| {
+            let mut agg = Aggregator::new(spec.clone(), Arc::clone(&ds.store));
+            for rec in &records {
+                agg.add(rec);
+            }
+            black_box(agg.len())
+        });
+    });
+    group.bench_function("trace_then_aggregate", |b| {
+        b.iter(|| {
+            // Buffer the full trace (clone = what the trace service
+            // stores), then aggregate the buffer.
+            let trace: Vec<_> = records.to_vec();
+            let mut agg = Aggregator::new(spec.clone(), Arc::clone(&ds.store));
+            for rec in &trace {
+                agg.add(rec);
+            }
+            black_box(agg.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    let query = "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel, iteration";
+    for iterations in [5usize, 25, 100] {
+        let params = ParaDisParams {
+            iterations,
+            ..Default::default()
+        };
+        let a = paradis::generate_rank(&params, 0);
+        let b_ds = paradis::generate_rank(&params, 1);
+        let spec = parse_query(query).unwrap();
+        group.bench_function(BenchmarkId::new("tree_step_entries", iterations * 85), |bench| {
+            bench.iter(|| {
+                let mut left = Pipeline::new(spec.clone(), Arc::clone(&a.store));
+                left.process_dataset(&a);
+                let mut right = Pipeline::new(spec.clone(), Arc::clone(&b_ds.store));
+                right.process_dataset(&b_ds);
+                left.merge(right);
+                black_box(left.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cali_codec(c: &mut Criterion) {
+    let ds = paradis_dataset();
+    let text = caliper_format::cali::to_bytes(&ds);
+    let binary = caliper_format::binary::to_binary(&ds);
+    // Codec ablation: the binary stream should be markedly smaller and
+    // faster to parse than the self-describing text stream.
+    eprintln!(
+        "# cali stream sizes: text {} bytes, binary {} bytes ({:.1}x smaller)",
+        text.len(),
+        binary.len(),
+        text.len() as f64 / binary.len() as f64
+    );
+    let mut group = c.benchmark_group("cali_codec");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("text_encode", |b| {
+        b.iter(|| black_box(caliper_format::cali::to_bytes(black_box(&ds))))
+    });
+    group.bench_function("text_decode", |b| {
+        b.iter(|| black_box(caliper_format::cali::from_bytes(black_box(&text)).unwrap()))
+    });
+    group.throughput(Throughput::Bytes(binary.len() as u64));
+    group.bench_function("binary_encode", |b| {
+        b.iter(|| black_box(caliper_format::binary::to_binary(black_box(&ds))))
+    });
+    group.bench_function("binary_decode", |b| {
+        b.iter(|| {
+            black_box(caliper_format::binary::from_binary(black_box(&binary)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_aggregate,
+    bench_stream_vs_trace,
+    bench_merge,
+    bench_cali_codec
+);
+criterion_main!(benches);

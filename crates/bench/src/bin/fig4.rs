@@ -1,0 +1,122 @@
+//! Figure 4: scalability of cross-process aggregation in the MPI-based
+//! query application — total runtime (including I/O), reading and
+//! processing process-local input, and tree-based cross-process
+//! reduction, in a weak-scaling mode (one ParaDiS input file per query
+//! process).
+//!
+//! The paper runs 1…4096 MPI processes on a cluster. On a laptop all
+//! "ranks" share a few cores, so threaded wall-clock cannot show weak
+//! scaling; instead this harness measures the *critical path* on an
+//! uncontended core (see DESIGN.md §3):
+//!
+//! * local time  = time to read + aggregate one input file (constant
+//!   per process under weak scaling, by construction);
+//! * reduction   = sum over tree levels of the maximum merge time on
+//!   that level (the binomial tree executed sequentially, each merge
+//!   timed individually);
+//! * total       = local max + reduction + root finish.
+//!
+//! The threaded `mpi-caliquery` engine is also run at each point to
+//! verify that the parallel result equals the sequential one.
+//!
+//! Usage: `fig4 [--quick] [--max-np N]`
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cali_cli::{parallel_query, read_files};
+use caliper_query::{parse_query, Pipeline};
+use miniapps::paradis::{self, ParaDisParams, EVALUATION_QUERY};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let max_np: usize = args
+        .iter()
+        .position(|a| a == "--max-np")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 16 } else { 256 });
+
+    let dir = std::env::temp_dir().join(format!("caliper-fig4-{}", std::process::id()));
+    let params = ParaDisParams::default();
+    eprintln!("# Figure 4 reproduction: generating {max_np} ParaDiS input files under {dir:?}");
+    let paths = paradis::write_files(&params, max_np, &dir).expect("write input files");
+    eprintln!(
+        "# each file: {} snapshot records (paper: 2174)",
+        paradis::generate_rank(&params, 0).len()
+    );
+    let spec = parse_query(EVALUATION_QUERY).expect("query parses");
+
+    println!("np,total_s,local_max_s,reduction_s,levels,output_records,threaded_wall_s");
+    let mut np = 1;
+    while np <= max_np {
+        // --- local phase, per rank, uncontended ---
+        let mut locals = Vec::with_capacity(np);
+        let mut pipelines: Vec<Option<Pipeline>> = Vec::with_capacity(np);
+        for path in &paths[..np] {
+            let t = Instant::now();
+            let ds = read_files(std::slice::from_ref(path)).expect("read input");
+            let mut pipeline = Pipeline::new(spec.clone(), Arc::clone(&ds.store));
+            pipeline.process_dataset(&ds);
+            locals.push(t.elapsed().as_secs_f64());
+            pipelines.push(Some(pipeline));
+        }
+        let local_max = locals.iter().copied().fold(0.0f64, f64::max);
+
+        // --- binomial-tree reduction, executed sequentially, each
+        //     merge timed; per-level critical path = max merge time ---
+        let mut level_max = Vec::new();
+        let mut step = 1usize;
+        while step < np {
+            let mut worst = 0.0f64;
+            let mut i = 0;
+            while i + step < np {
+                let incoming = pipelines[i + step].take().expect("pipeline present");
+                let mine = pipelines[i].as_mut().expect("receiver present");
+                let t = Instant::now();
+                mine.merge(incoming);
+                worst = worst.max(t.elapsed().as_secs_f64());
+                i += 2 * step;
+            }
+            level_max.push(worst);
+            step *= 2;
+        }
+        let reduction: f64 = level_max.iter().sum();
+
+        let t = Instant::now();
+        let result = pipelines[0].take().expect("root pipeline").finish();
+        let finish = t.elapsed().as_secs_f64();
+        let total = local_max + reduction + finish;
+
+        // --- cross-check with the threaded parallel engine ---
+        let per_rank: Vec<Vec<PathBuf>> = paths[..np].iter().map(|p| vec![p.clone()]).collect();
+        let t = Instant::now();
+        let (threaded, _) = parallel_query(EVALUATION_QUERY, per_rank).expect("parallel query");
+        let threaded_wall = t.elapsed().as_secs_f64();
+        assert_eq!(
+            result.to_table().render(),
+            threaded.to_table().render(),
+            "threaded and sequential reductions must agree at np={np}"
+        );
+
+        println!(
+            "{np},{total:.6},{local_max:.6},{reduction:.6},{},{},{threaded_wall:.6}",
+            level_max.len(),
+            result.records.len()
+        );
+        eprintln!(
+            "# np {np:>5}: total {total:.4} s = local {local_max:.4} + reduction {reduction:.5} ({} levels) + finish {finish:.5}; {} output records (paper: 85)",
+            level_max.len(),
+            result.records.len()
+        );
+        np *= 2;
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    eprintln!();
+    eprintln!("# Expected shape (paper §V-C): local input time roughly constant");
+    eprintln!("# (weak scaling), reduction time growing logarithmically with np,");
+    eprintln!("# total dominated by local processing + I/O.");
+}

@@ -1,0 +1,106 @@
+//! Figure 8: runtime spent on different mesh refinement levels in
+//! CleverLeaf per timestep (§VI-E).
+//!
+//! The paper's distinctive experiment: the on-line profile includes
+//! *all* annotation attributes in the aggregation key (scheme C),
+//! including the application-specific AMR level; the off-line query is
+//! then, verbatim:
+//!
+//! ```text
+//! AGGREGATE sum(time.duration)
+//! WHERE not(mpi.function)
+//! GROUP BY amr.level, iteration#mainloop
+//! ```
+//!
+//! Usage: `fig8 [--quick]`
+
+use caliper_bench::{merge_datasets, schemes};
+use caliper_query::run_query;
+use caliper_runtime::Config;
+use miniapps::{CleverLeaf, CleverLeafParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        CleverLeafParams {
+            timesteps: 20,
+            ranks: 4,
+            ..CleverLeafParams::case_study()
+        }
+    } else {
+        CleverLeafParams::case_study()
+    };
+    let timesteps = params.timesteps;
+    eprintln!(
+        "# Figure 8 reproduction: time per AMR level per timestep, {} ranks, {} timesteps",
+        params.ranks, timesteps
+    );
+    let app = CleverLeaf::new(params.clone());
+
+    // On-line: the full scheme-C profile of §VI-E.
+    let config = Config::event_aggregate(schemes::C, "count,sum(time.duration)");
+    let datasets = app.run_all(&config);
+    eprintln!(
+        "# per-process profile records: {} (paper: 257592)",
+        datasets[0].len()
+    );
+    let merged = merge_datasets(&datasets);
+
+    // Off-line: the paper's query (aggregating the pre-aggregated
+    // sum#time.duration from the on-line stage).
+    let result = run_query(
+        &merged,
+        "AGGREGATE sum(sum#time.duration) \
+         WHERE not(mpi.function), amr.level \
+         GROUP BY amr.level, iteration#mainloop",
+    )
+    .expect("figure 8 query");
+
+    let level = result.store.find("amr.level").unwrap();
+    let iter = result.store.find("iteration#mainloop").unwrap();
+    let time = result.store.find("sum#sum#time.duration").unwrap();
+
+    // series[level][timestep] = seconds
+    let mut series = vec![vec![0.0f64; timesteps]; params.levels];
+    for rec in &result.records {
+        let (Some(l), Some(t), Some(v)) = (
+            rec.get(level.id()).and_then(|v| v.to_i64()),
+            rec.get(iter.id()).and_then(|v| v.to_i64()),
+            rec.get(time.id()).and_then(|v| v.to_f64()),
+        ) else {
+            continue;
+        };
+        if (l as usize) < series.len() && (t as usize) < timesteps {
+            series[l as usize][t as usize] += v / 1e6;
+        }
+    }
+
+    println!("timestep,level0_s,level1_s,level2_s");
+    for t in 0..timesteps {
+        println!(
+            "{t},{:.4},{:.4},{:.4}",
+            series[0][t],
+            series.get(1).map(|s| s[t]).unwrap_or(0.0),
+            series.get(2).map(|s| s[t]).unwrap_or(0.0)
+        );
+    }
+
+    eprintln!();
+    eprintln!("# Shape checks vs. the paper (Figure 8):");
+    let first = |l: usize| series[l][..timesteps / 10].iter().sum::<f64>();
+    let last = |l: usize| series[l][timesteps - timesteps / 10..].iter().sum::<f64>();
+    eprintln!(
+        "#   level 0 roughly constant: first decile {:.3} s vs last {:.3} s (ratio {:.2})",
+        first(0),
+        last(0),
+        last(0) / first(0)
+    );
+    eprintln!(
+        "#   level 1 increases slightly: ratio {:.2}",
+        last(1) / first(1)
+    );
+    eprintln!(
+        "#   level 2 increases significantly: ratio {:.2}",
+        last(2) / first(2)
+    );
+}

@@ -1,0 +1,111 @@
+//! Figure 9: runtime spent on different mesh refinement levels in
+//! CleverLeaf per MPI rank (§VI-E).
+//!
+//! Off-line query, verbatim from the paper:
+//!
+//! ```text
+//! AGGREGATE sum(time.duration)
+//! WHERE not(mpi.function)
+//! GROUP BY amr.level, mpi.rank
+//! ```
+//!
+//! Usage: `fig9 [--quick]`
+
+use caliper_bench::{merge_datasets, schemes};
+use caliper_query::run_query;
+use caliper_runtime::Config;
+use miniapps::{CleverLeaf, CleverLeafParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        CleverLeafParams {
+            timesteps: 20,
+            ranks: 10,
+            ..CleverLeafParams::case_study()
+        }
+    } else {
+        CleverLeafParams::case_study()
+    };
+    eprintln!(
+        "# Figure 9 reproduction: time per AMR level per rank, {} ranks",
+        params.ranks
+    );
+    let app = CleverLeaf::new(params.clone());
+
+    let config = Config::event_aggregate(schemes::C, "count,sum(time.duration)");
+    let datasets = app.run_all(&config);
+    let merged = merge_datasets(&datasets);
+
+    let result = run_query(
+        &merged,
+        "AGGREGATE sum(sum#time.duration) \
+         WHERE not(mpi.function), amr.level \
+         GROUP BY amr.level, mpi.rank",
+    )
+    .expect("figure 9 query");
+
+    let level = result.store.find("amr.level").unwrap();
+    let rank = result.store.find("mpi.rank").unwrap();
+    let time = result.store.find("sum#sum#time.duration").unwrap();
+
+    // table[rank][level] = seconds
+    let mut table = vec![vec![0.0f64; params.levels]; params.ranks];
+    for rec in &result.records {
+        let (Some(l), Some(r), Some(v)) = (
+            rec.get(level.id()).and_then(|v| v.to_i64()),
+            rec.get(rank.id()).and_then(|v| v.to_i64()),
+            rec.get(time.id()).and_then(|v| v.to_f64()),
+        ) else {
+            continue;
+        };
+        if (r as usize) < table.len() && (l as usize) < params.levels {
+            table[r as usize][l as usize] += v / 1e6;
+        }
+    }
+
+    println!("rank,level0_s,level1_s,level2_s");
+    for (r, levels) in table.iter().enumerate() {
+        println!(
+            "{r},{:.4},{:.4},{:.4}",
+            levels[0],
+            levels.get(1).copied().unwrap_or(0.0),
+            levels.get(2).copied().unwrap_or(0.0)
+        );
+    }
+
+    eprintln!();
+    eprintln!("# Shape checks vs. the paper (Figure 9):");
+    // Typical rank: level-0 >= level-1.
+    let typical = table
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| *r != 7 && *r != 8)
+        .filter(|(_, l)| l[0] >= l[1])
+        .count();
+    eprintln!(
+        "#   proportions similar on most ranks (level0 >= level1 on {typical}/{} ordinary ranks)",
+        params.ranks - 2
+    );
+    if params.ranks > 8 {
+        eprintln!(
+            "#   rank 8 spends more time in level 1 than 0: {} ({:.3} vs {:.3} s)",
+            table[8][1] > table[8][0],
+            table[8][1],
+            table[8][0]
+        );
+        let others_l0: f64 = table
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| *r != 7)
+            .map(|(_, l)| l[0])
+            .sum::<f64>()
+            / (params.ranks - 1) as f64;
+        eprintln!(
+            "#   rank 7 spends less time in level 0 than most ranks: {} ({:.3} vs avg {:.3} s)",
+            table[7][0] < 0.95 * others_l0,
+            table[7][0],
+            others_l0
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal command-line argument parsing (flag/value pairs plus
+//! positional inputs) — hand-rolled to keep the dependency closure
+//! small.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: flags with values, boolean switches, and
+/// positional arguments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CliArgs {
+    /// `--flag value` / `-f value` options.
+    pub options: BTreeMap<String, String>,
+    /// Bare `--switch` flags.
+    pub switches: Vec<String>,
+    /// Positional arguments (input files).
+    pub positional: Vec<String>,
+}
+
+/// Usage error with a message to print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parse arguments. `value_flags` lists the flags that take a value
+/// (both long and short spellings, without dashes).
+pub fn parse_args(
+    args: impl IntoIterator<Item = String>,
+    value_flags: &[&str],
+) -> Result<CliArgs, UsageError> {
+    let mut out = CliArgs::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--").or_else(|| arg.strip_prefix('-')) {
+            // `--flag=value` spelling
+            if let Some((name, value)) = name.split_once('=') {
+                out.options.insert(name.to_string(), value.to_string());
+                continue;
+            }
+            if value_flags.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| UsageError(format!("flag --{name} requires a value")))?;
+                out.options.insert(name.to_string(), value);
+            } else {
+                out.switches.push(name.to_string());
+            }
+        } else {
+            out.positional.push(arg);
+        }
+    }
+    Ok(out)
+}
+
+impl CliArgs {
+    /// Look up an option by any of its spellings.
+    pub fn get(&self, names: &[&str]) -> Option<&str> {
+        names
+            .iter()
+            .find_map(|n| self.options.get(*n))
+            .map(String::as_str)
+    }
+
+    /// Whether a switch is present.
+    pub fn has(&self, names: &[&str]) -> bool {
+        self.switches.iter().any(|s| names.contains(&s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positional() {
+        let args = parse_args(
+            strs(&["-q", "AGGREGATE count", "in1.cali", "in2.cali", "--help"]),
+            &["q", "query"],
+        )
+        .unwrap();
+        assert_eq!(args.get(&["query", "q"]), Some("AGGREGATE count"));
+        assert_eq!(args.positional, vec!["in1.cali", "in2.cali"]);
+        assert!(args.has(&["help", "h"]));
+    }
+
+    #[test]
+    fn equals_spelling() {
+        let args = parse_args(strs(&["--np=16"]), &["np"]).unwrap();
+        assert_eq!(args.get(&["np"]), Some("16"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_args(strs(&["--query"]), &["query"]).unwrap_err();
+        assert!(err.0.contains("--query"));
+    }
+}

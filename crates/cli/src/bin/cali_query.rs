@@ -1,0 +1,113 @@
+//! `cali-query` — off-line analytical aggregation over `.cali` files
+//! (paper §IV-C).
+//!
+//! ```text
+//! cali-query [-q|--query QUERY] [-o|--output FILE] INPUT.cali...
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use cali_cli::{parse_args, query_files_streaming, read_files};
+
+const USAGE: &str = "usage: cali-query [-q QUERY] [-o FILE] INPUT.cali...
+
+Runs an aggregation query over Caliper data files and prints the result.
+
+Options:
+  -q, --query QUERY   the aggregation scheme, e.g.
+                      \"AGGREGATE count, sum(time.duration) GROUP BY function\"
+                      Clauses: AGGREGATE, GROUP BY, WHERE, SELECT,
+                      ORDER BY, LET, FORMAT (table|csv|json|expand|cali|flamegraph)
+  -o, --output FILE   write the result to FILE instead of stdout
+  --list-attributes   print the attribute dictionary instead of querying
+  --list-globals      print dataset-global metadata instead of querying
+  -h, --help          show this help
+";
+
+/// Render the attribute dictionary (name, type, properties).
+fn list_attributes(ds: &caliper_format::Dataset) -> String {
+    let mut out = String::from("attribute,type,properties\n");
+    let mut attrs = ds.store.all();
+    attrs.sort_by(|a, b| a.name().cmp(b.name()));
+    for attr in attrs {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            attr.name(),
+            attr.value_type(),
+            attr.properties().encode()
+        ));
+    }
+    out
+}
+
+/// Render the dataset-global metadata records.
+fn list_globals(ds: &caliper_format::Dataset) -> String {
+    let mut out = String::new();
+    for global in &ds.globals {
+        out.push_str(&global.describe(&ds.store));
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1), &["q", "query", "o", "output"]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("cali-query: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.has(&["h", "help"]) {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.positional.is_empty() {
+        eprintln!("cali-query: no input files\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let query = args.get(&["q", "query"]).unwrap_or("SELECT *");
+
+    let rendered = if args.has(&["list-attributes"]) || args.has(&["list-globals"]) {
+        let ds = match read_files(&args.positional) {
+            Ok(ds) => ds,
+            Err(e) => {
+                eprintln!("cali-query: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.has(&["list-attributes"]) {
+            list_attributes(&ds)
+        } else {
+            list_globals(&ds)
+        }
+    } else {
+        // Aggregation queries stream one input file at a time (memory
+        // bounded by the largest file); pass-through queries fall back
+        // to loading everything.
+        match query_files_streaming(query, &args.positional) {
+            Ok(result) => result.render(),
+            Err(e) => {
+                eprintln!("cali-query: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match args.get(&["o", "output"]) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("cali-query: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            if lock.write_all(rendered.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

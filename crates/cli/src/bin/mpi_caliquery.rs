@@ -1,0 +1,98 @@
+//! `mpi-caliquery` — scalable cross-process aggregation (paper §IV-C).
+//!
+//! Distributes the input files over N simulated MPI query processes,
+//! aggregates locally on each, reduces the partial results up a
+//! binomial tree to rank 0, and prints the result plus the timing
+//! breakdown that Figure 4 of the paper reports.
+//!
+//! ```text
+//! mpi-caliquery --np N [-q QUERY] [--timings] INPUT.cali...
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cali_cli::{parallel_query, parse_args};
+
+const USAGE: &str = "usage: mpi-caliquery --np N [-q QUERY] [--timings] INPUT.cali...
+
+Runs an aggregation query across many Caliper data files in parallel
+(N simulated MPI processes; files are distributed round-robin).
+
+Options:
+  --np N              number of query processes (default: number of inputs)
+  -q, --query QUERY   the aggregation scheme (must aggregate)
+                      default: \"AGGREGATE sum(sum#time.duration),
+                      sum(aggregate.count) GROUP BY kernel\"
+  --timings           print the per-phase timing breakdown
+  -h, --help          show this help
+";
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1), &["q", "query", "np"]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mpi-caliquery: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.has(&["h", "help"]) {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.positional.is_empty() {
+        eprintln!("mpi-caliquery: no input files\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let np: usize = match args.get(&["np"]) {
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("mpi-caliquery: invalid --np '{v}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => args.positional.len(),
+    };
+    let query = args
+        .get(&["q", "query"])
+        .unwrap_or("AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel");
+
+    // Round-robin file distribution, one subset per query process.
+    let mut per_rank: Vec<Vec<PathBuf>> = vec![Vec::new(); np];
+    for (i, path) in args.positional.iter().enumerate() {
+        per_rank[i % np].push(PathBuf::from(path));
+    }
+
+    match parallel_query(query, per_rank) {
+        Ok((result, timings)) => {
+            print!("{}", result.render());
+            if args.has(&["timings"]) {
+                eprintln!(
+                    "# local read+process (max over ranks): {:.6} s",
+                    timings.local_max_s()
+                );
+                eprintln!(
+                    "# tree reduction (critical path):      {:.6} s",
+                    timings.reduction_s
+                );
+                for (level, t) in timings.level_merge_max_s.iter().enumerate() {
+                    eprintln!("#   level {level}: {t:.6} s");
+                }
+                eprintln!(
+                    "# root finish:                         {:.6} s",
+                    timings.finish_s
+                );
+                eprintln!(
+                    "# total:                               {:.6} s",
+                    timings.total_s()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mpi-caliquery: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # cali-cli — the off-line query applications
+//!
+//! Library backing the two binaries (paper §IV-C):
+//!
+//! * `cali-query` — serial analytical aggregation over `.cali` files.
+//! * `mpi-caliquery` — the scalable parallel query application: each
+//!   (simulated) MPI process aggregates its assigned input files
+//!   locally, then partial results are combined up a binomial reduction
+//!   tree to rank 0.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod parallel;
+
+pub use args::{parse_args, CliArgs, UsageError};
+pub use parallel::{parallel_query, ParallelError, ParallelTimings};
+
+use caliper_format::{binary, CaliError, CaliReader, Dataset};
+
+/// Read and merge multiple `.cali` (text) or `.calb` (binary) files
+/// into one dataset (shared attribute dictionary and context tree).
+/// The flavor is sniffed from the stream header, not the file name.
+/// Read one `.cali`/`.calb` file into a fresh dataset.
+pub fn read_one(path: impl AsRef<std::path::Path>) -> Result<Dataset, CaliError> {
+    let bytes = std::fs::read(path)?;
+    caliper_format::binary::from_bytes_auto(&bytes)
+}
+
+/// Run an aggregation query over many files in streaming fashion: one
+/// file is in memory at a time, partial aggregations are merged — the
+/// serial analogue of the parallel query engine, bounding `cali-query`'s
+/// memory by the largest input file instead of the whole dataset.
+///
+/// Pass-through (non-aggregating) queries need all records at once and
+/// fall back to [`read_files`].
+pub fn query_files_streaming<P: AsRef<std::path::Path>>(
+    query: &str,
+    paths: &[P],
+) -> Result<caliper_query::QueryResult, Box<dyn std::error::Error>> {
+    let spec = caliper_query::parse_query(query)?;
+    if !spec.is_aggregation() {
+        let ds = read_files(paths)?;
+        return Ok(caliper_query::run_query(&ds, query)?);
+    }
+    let mut acc: Option<caliper_query::Pipeline> = None;
+    for path in paths {
+        let ds = read_one(path)?;
+        let mut pipeline =
+            caliper_query::Pipeline::new(spec.clone(), std::sync::Arc::clone(&ds.store));
+        pipeline.process_dataset(&ds);
+        match &mut acc {
+            Some(root) => root.merge(pipeline),
+            None => acc = Some(pipeline),
+        }
+    }
+    let acc = acc.unwrap_or_else(|| {
+        caliper_query::Pipeline::new(spec, std::sync::Arc::new(Default::default()))
+    });
+    Ok(acc.finish())
+}
+
+/// Read and merge multiple `.cali` (text) or `.calb` (binary) files
+/// into one dataset (shared attribute dictionary and context tree).
+/// The flavor is sniffed from the stream header, not the file name.
+pub fn read_files<P: AsRef<std::path::Path>>(paths: &[P]) -> Result<Dataset, CaliError> {
+    let mut ds = Dataset::new();
+    for path in paths {
+        // One reader per file: each stream has its own id space, which
+        // the reader remaps into the shared dataset.
+        let bytes = std::fs::read(path)?;
+        if bytes.starts_with(b"CALB") {
+            ds = binary::read_binary_into(&bytes, ds)?;
+        } else {
+            let mut reader = CaliReader::into_dataset(ds);
+            reader.read_stream(std::io::BufReader::new(&bytes[..]))?;
+            ds = reader.finish();
+        }
+    }
+    Ok(ds)
+}

@@ -1,0 +1,253 @@
+//! The parallel cross-process query engine (§IV-C).
+//!
+//! "In the MPI version, each process is assigned a subset of the data
+//! files, and first applies the query on its assigned dataset. Then, we
+//! organize the processes in a tree based on their rank, and perform a
+//! logarithmic reduction: 'leaf' processes send the local aggregation
+//! results to their parent, where the partial results are aggregated
+//! again."
+//!
+//! The engine additionally reports the timing breakdown that Figure 4
+//! plots: per-rank local read+process time, and the per-tree-level
+//! merge times from which the critical-path reduction time is computed.
+//! On a laptop all "ranks" share a few cores, so wall-clock weak
+//! scaling is not observable directly; the critical path over the tree
+//! levels is the machine-independent quantity (see DESIGN.md §3).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use caliper_query::{parse_query, ParseError, Pipeline, QueryResult};
+use mpisim::{gather, Comm};
+
+use crate::read_files;
+
+/// Timing breakdown of one parallel query run.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelTimings {
+    /// Per-rank wall time for reading and processing the local input.
+    pub local_s: Vec<f64>,
+    /// Per-tree-level maximum merge time (critical path per level).
+    pub level_merge_max_s: Vec<f64>,
+    /// Critical-path reduction time: the sum of the level maxima.
+    pub reduction_s: f64,
+    /// Time rank 0 spent finishing (flush + sort + column resolution).
+    pub finish_s: f64,
+}
+
+impl ParallelTimings {
+    /// Maximum local read+process time over ranks.
+    pub fn local_max_s(&self) -> f64 {
+        self.local_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Estimated total critical-path runtime including I/O:
+    /// max local + reduction + root finish.
+    pub fn total_s(&self) -> f64 {
+        self.local_max_s() + self.reduction_s + self.finish_s
+    }
+}
+
+/// Errors from the parallel query engine.
+#[derive(Debug)]
+pub enum ParallelError {
+    /// Query text failed to parse.
+    Parse(ParseError),
+    /// The query has no aggregation — partial results of a pass-through
+    /// query cannot be merged across processes.
+    NotAnAggregation,
+    /// A rank failed to read its input files.
+    Io(String),
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::Parse(e) => write!(f, "query parse error: {e}"),
+            ParallelError::NotAnAggregation => {
+                f.write_str("parallel queries must aggregate (use AGGREGATE and/or GROUP BY)")
+            }
+            ParallelError::Io(m) => write!(f, "input error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+/// Tag used for the per-rank timing report.
+struct RankReport {
+    local_s: f64,
+    /// (tree level, merge seconds) for each merge this rank performed.
+    merges: Vec<(usize, f64)>,
+}
+
+/// Run `query` over `files_per_rank.len()` simulated query processes,
+/// one thread each; rank `i` reads `files_per_rank[i]`. Returns the
+/// result (from rank 0) and the timing breakdown.
+pub fn parallel_query(
+    query: &str,
+    files_per_rank: Vec<Vec<PathBuf>>,
+) -> Result<(QueryResult, ParallelTimings), ParallelError> {
+    let spec = parse_query(query).map_err(ParallelError::Parse)?;
+    if !spec.is_aggregation() {
+        return Err(ParallelError::NotAnAggregation);
+    }
+    let size = files_per_rank.len().max(1);
+    let spec = Arc::new(spec);
+    let files = Arc::new(files_per_rank);
+
+    let results = mpisim::run(size, move |mut comm: Comm| {
+        let rank = comm.rank();
+        let size = comm.size();
+
+        // --- local phase: read + process assigned files ---
+        let start = Instant::now();
+        let ds = read_files(&files[rank]).map_err(|e| e.to_string())?;
+        let mut pipeline = Pipeline::new((*spec).clone(), Arc::clone(&ds.store));
+        pipeline.process_dataset(&ds);
+        let local_s = start.elapsed().as_secs_f64();
+
+        // --- binomial-tree reduction, timing each merge ---
+        let mut merges = Vec::new();
+        let mut step = 1usize;
+        let mut level = 0usize;
+        let mut mine = Some(pipeline);
+        while step < size {
+            if rank % (2 * step) == 0 {
+                let partner = rank + step;
+                if partner < size {
+                    let theirs: Pipeline =
+                        comm.recv(partner, 1).map_err(|e| e.to_string())?;
+                    let t = Instant::now();
+                    mine.as_mut().expect("receiver holds a pipeline").merge(theirs);
+                    merges.push((level, t.elapsed().as_secs_f64()));
+                }
+            } else {
+                let parent = rank - step;
+                comm.send(parent, 1, mine.take().expect("sender holds a pipeline"))
+                    .map_err(|e| e.to_string())?;
+                break;
+            }
+            step *= 2;
+            level += 1;
+        }
+
+        // --- gather timing reports at rank 0 ---
+        let report = RankReport { local_s, merges };
+        let reports = gather(&mut comm, report).map_err(|e| e.to_string())?;
+        Ok::<_, String>((mine, reports))
+    });
+
+    let mut root_pipeline = None;
+    let mut reports = None;
+    for (rank, r) in results.into_iter().enumerate() {
+        let (pipeline, rank_reports) = r.map_err(ParallelError::Io)?;
+        if rank == 0 {
+            root_pipeline = pipeline;
+            reports = rank_reports;
+        }
+    }
+    let root_pipeline = root_pipeline.expect("rank 0 holds the merged pipeline");
+    let reports = reports.expect("rank 0 gathered the reports");
+
+    let t = Instant::now();
+    let result = root_pipeline.finish();
+    let finish_s = t.elapsed().as_secs_f64();
+
+    let levels = (usize::BITS - (size - 1).leading_zeros()) as usize;
+    let mut level_merge_max_s = vec![0.0f64; levels];
+    let mut local_s = Vec::with_capacity(size);
+    for report in &reports {
+        local_s.push(report.local_s);
+        for &(level, seconds) in &report.merges {
+            level_merge_max_s[level] = level_merge_max_s[level].max(seconds);
+        }
+    }
+    let reduction_s = level_merge_max_s.iter().sum();
+    Ok((
+        result,
+        ParallelTimings {
+            local_s,
+            level_merge_max_s,
+            reduction_s,
+            finish_s,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_query::run_query;
+    use miniapps::paradis::{self, ParaDisParams};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("caliquery-test-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let dir = temp_dir("match");
+        let params = ParaDisParams {
+            iterations: 3,
+            ..Default::default()
+        };
+        let paths = paradis::write_files(&params, 8, &dir).unwrap();
+
+        let query = "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel";
+
+        // Serial: read everything into one dataset.
+        let ds = read_files(&paths).unwrap();
+        let serial = run_query(&ds, query).unwrap();
+
+        // Parallel: one file per rank.
+        let per_rank: Vec<Vec<PathBuf>> = paths.iter().map(|p| vec![p.clone()]).collect();
+        let (parallel, timings) = parallel_query(query, per_rank).unwrap();
+
+        assert_eq!(serial.to_table().render(), parallel.to_table().render());
+        assert_eq!(timings.local_s.len(), 8);
+        assert_eq!(timings.level_merge_max_s.len(), 3);
+        assert!(timings.total_s() > 0.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uneven_file_distribution() {
+        let dir = temp_dir("uneven");
+        let params = ParaDisParams {
+            iterations: 2,
+            ..Default::default()
+        };
+        let paths = paradis::write_files(&params, 5, &dir).unwrap();
+        // 3 ranks, round-robin distribution: [0,3], [1,4], [2]
+        let mut per_rank: Vec<Vec<PathBuf>> = vec![Vec::new(); 3];
+        for (i, p) in paths.iter().enumerate() {
+            per_rank[i % 3].push(p.clone());
+        }
+        let query = "AGGREGATE sum(aggregate.count) GROUP BY mpi.rank";
+        let (result, _) = parallel_query(query, per_rank).unwrap();
+        // One output record per input rank.
+        assert_eq!(result.records.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn passthrough_queries_are_rejected() {
+        let err = parallel_query("SELECT *", vec![vec![]]).unwrap_err();
+        assert!(matches!(err, ParallelError::NotAnAggregation));
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = parallel_query(
+            "AGGREGATE count GROUP BY x",
+            vec![vec![PathBuf::from("/nonexistent/file.cali")]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParallelError::Io(_)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Black-box tests of the `cali-query` and `mpi-caliquery` binaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use miniapps::paradis::{self, ParaDisParams};
+
+fn write_inputs(name: &str, ranks: usize) -> (PathBuf, Vec<PathBuf>) {
+    let dir = std::env::temp_dir().join(format!("cali-bin-test-{name}-{}", std::process::id()));
+    let params = ParaDisParams {
+        iterations: 2,
+        ..Default::default()
+    };
+    let paths = paradis::write_files(&params, ranks, &dir).unwrap();
+    (dir, paths)
+}
+
+#[test]
+fn cali_query_runs_a_query() {
+    let (dir, paths) = write_inputs("serial", 2);
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg("AGGREGATE sum(aggregate.count) GROUP BY kernel ORDER BY kernel")
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("kernel"));
+    assert!(stdout.contains("CalcSegForces"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_csv_output_to_file() {
+    let (dir, paths) = write_inputs("csv", 1);
+    let out_file = dir.join("result.csv");
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg("AGGREGATE sum(sum#time.duration) GROUP BY mpi.function FORMAT csv")
+        .arg("-o")
+        .arg(&out_file)
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&out_file).unwrap();
+    assert!(csv.starts_with("mpi.function,sum#sum#time.duration"));
+    assert!(csv.contains("MPI_Barrier"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_reads_binary_files() {
+    let (dir, paths) = write_inputs("binary", 2);
+    // Convert the generated text files to the binary flavor.
+    let mut binary_paths = Vec::new();
+    for (i, path) in paths.iter().enumerate() {
+        let ds = caliper_format::cali::read_file(path).unwrap();
+        let bin = dir.join(format!("rank-{i}.calb"));
+        caliper_format::binary::write_file(&ds, &bin).unwrap();
+        binary_paths.push(bin);
+    }
+    let query = "AGGREGATE sum(aggregate.count) GROUP BY kernel ORDER BY kernel";
+    let from_text = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg(query)
+        .args(&paths)
+        .output()
+        .expect("run cali-query on text");
+    let from_binary = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg(query)
+        .args(&binary_paths)
+        .output()
+        .expect("run cali-query on binary");
+    assert!(from_binary.status.success());
+    assert_eq!(from_text.stdout, from_binary.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streaming_query_matches_merged_query() {
+    let (dir, paths) = write_inputs("streaming", 5);
+    let query = "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel";
+    let merged = cali_cli::read_files(&paths).unwrap();
+    let reference = caliper_query::run_query(&merged, query).unwrap();
+    let streamed = cali_cli::query_files_streaming(query, &paths).unwrap();
+    assert_eq!(
+        reference.to_table().render(),
+        streamed.to_table().render()
+    );
+    // Pass-through fallback also works.
+    let passthrough = cali_cli::query_files_streaming("SELECT * LIMIT 3", &paths).unwrap();
+    assert_eq!(passthrough.records.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_reports_bad_query() {
+    let (dir, paths) = write_inputs("bad", 1);
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg("AGGREGATE bogus(x) GROUP BY kernel")
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bogus"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_stat_summarizes_datasets() {
+    let (dir, paths) = write_inputs("stat", 2);
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-stat"))
+        .args(&paths)
+        .output()
+        .expect("run cali-stat");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("files:            2"), "{stdout}");
+    assert!(stdout.contains("snapshot records:"), "{stdout}");
+    assert!(stdout.contains("kernel"), "{stdout}");
+    assert!(stdout.contains("binary"), "{stdout}");
+    // numeric attribute gets min/mean/max
+    assert!(stdout.contains("sum#time.duration"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_help() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("--help")
+        .output()
+        .expect("run cali-query");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("usage:"));
+}
+
+#[test]
+fn mpi_caliquery_matches_cali_query() {
+    let (dir, paths) = write_inputs("mpi", 4);
+    let query = "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel";
+
+    let serial = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg(query)
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    let parallel = Command::new(env!("CARGO_BIN_EXE_mpi-caliquery"))
+        .arg("--np")
+        .arg("4")
+        .arg("-q")
+        .arg(query)
+        .arg("--timings")
+        .args(&paths)
+        .output()
+        .expect("run mpi-caliquery");
+
+    assert!(serial.status.success());
+    assert!(parallel.status.success(), "{}", String::from_utf8_lossy(&parallel.stderr));
+    assert_eq!(serial.stdout, parallel.stdout);
+    let stderr = String::from_utf8(parallel.stderr).unwrap();
+    assert!(stderr.contains("tree reduction"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_lists_attributes_and_globals() {
+    let (dir, paths) = write_inputs("list", 1);
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("--list-attributes")
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("kernel,string,nested"), "{stdout}");
+    assert!(stdout.contains("sum#time.duration,double"), "{stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("--list-globals")
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("experiment=paradis"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_flamegraph_format() {
+    let (dir, paths) = write_inputs("flame", 1);
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg(
+            "AGGREGATE sum(sum#time.duration) WHERE kernel GROUP BY kernel \
+             SELECT kernel, sum#sum#time.duration FORMAT flamegraph",
+        )
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // folded format: "frame value" lines
+    let first = stdout.lines().next().unwrap();
+    assert!(first.split(' ').count() == 2, "{first}");
+    assert!(first.split(' ').nth(1).unwrap().parse::<i64>().is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mpi_caliquery_rejects_passthrough() {
+    let (dir, paths) = write_inputs("reject", 1);
+    let out = Command::new(env!("CARGO_BIN_EXE_mpi-caliquery"))
+        .arg("-q")
+        .arg("SELECT *")
+        .args(&paths)
+        .output()
+        .expect("run mpi-caliquery");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("must aggregate"));
+    std::fs::remove_dir_all(&dir).ok();
+}

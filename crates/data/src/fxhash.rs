@@ -1,0 +1,130 @@
+//! A small, fast, non-cryptographic hasher for aggregation keys.
+//!
+//! The paper's aggregation service computes a "compact, collision-free
+//! hash value" over the key attributes to index its in-memory aggregation
+//! database (§IV-B). SipHash (the `std` default) is needlessly slow for
+//! this hot path; this module provides an FxHash-style multiply-xor
+//! hasher, implemented in-repo to avoid an extra dependency.
+//!
+//! Not HashDoS-resistant — keys come from the monitored program itself,
+//! not from untrusted input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style streaming hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single value with [`FxHasher`].
+pub fn fxhash<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(fxhash(&"hello"), fxhash(&"hello"));
+        assert_eq!(fxhash(&42u64), fxhash(&42u64));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fxhash(&"hello"), fxhash(&"world"));
+        assert_ne!(fxhash(&1u64), fxhash(&2u64));
+        // trailing-length mixing distinguishes padded remainders
+        assert_ne!(fxhash(&[1u8][..]), fxhash(&[1u8, 0][..]));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert(format!("key{i}"), i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get("key500"), Some(&500));
+    }
+
+    #[test]
+    fn distribution_has_no_gross_collisions() {
+        let mut seen = FxHashSet::default();
+        for i in 0..100_000u64 {
+            seen.insert(fxhash(&i));
+        }
+        // u64 output over 1e5 sequential inputs should be collision-free.
+        assert_eq!(seen.len(), 100_000);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the data model invariants.
+
+use caliper_data::{
+    fxhash, AttributeStore, ContextTree, FlatRecord, SnapshotRecord, Value, ValueType, NODE_NONE,
+};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary values across all five value kinds.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-zA-Z0-9_./ -]{0,24}".prop_map(Value::str),
+        any::<i64>().prop_map(Value::Int),
+        any::<u64>().prop_map(Value::UInt),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    /// Eq ⇒ equal hashes, over all value kinds (the HashMap contract the
+    /// aggregation database relies on).
+    #[test]
+    fn value_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(fxhash(&a), fxhash(&b));
+        }
+    }
+
+    /// Display → parse_typed roundtrips for every non-string value whose
+    /// textual form is exact (i.e. all ints, uints, bools and floats —
+    /// Rust's float Display is shortest-roundtrip).
+    #[test]
+    fn value_display_parse_roundtrip(v in arb_value()) {
+        let text = v.to_string();
+        let parsed = Value::parse_typed(&text, v.value_type());
+        match &v {
+            // NaN never equals itself textually ("NaN" parses to a
+            // different NaN payload is fine; bit equality may differ).
+            Value::Float(f) if f.is_nan() => {}
+            _ => prop_assert_eq!(parsed, Some(v)),
+        }
+    }
+
+    /// total_cmp is a total order: antisymmetric and transitive on
+    /// sampled triples.
+    #[test]
+    fn value_total_cmp_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Interning is idempotent and ids stay dense regardless of label set.
+    #[test]
+    fn store_interning_idempotent(labels in prop::collection::vec("[a-z.]{1,12}", 1..40)) {
+        let store = AttributeStore::new();
+        let mut ids = std::collections::HashMap::new();
+        for l in &labels {
+            let a = store.create_simple(l, ValueType::Int);
+            if let Some(prev) = ids.insert(l.clone(), a.id()) {
+                prop_assert_eq!(prev, a.id());
+            }
+        }
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        prop_assert_eq!(store.len(), unique.len());
+        // Ids are dense 0..len.
+        for a in store.all() {
+            prop_assert!((a.id() as usize) < store.len());
+        }
+    }
+
+    /// Context-tree path expansion inverts get_child chains: pushing a
+    /// sequence of (attr, value) pairs and expanding the leaf yields the
+    /// same sequence.
+    #[test]
+    fn tree_path_roundtrip(pairs in prop::collection::vec((0u32..8, arb_value()), 1..30)) {
+        let tree = ContextTree::new();
+        let mut node = NODE_NONE;
+        for (attr, value) in &pairs {
+            node = tree.get_child(node, *attr, value);
+        }
+        let path = tree.path(node);
+        prop_assert_eq!(path, pairs);
+    }
+
+    /// The tree deduplicates: inserting the same chain twice creates no
+    /// new nodes.
+    #[test]
+    fn tree_dedup(pairs in prop::collection::vec((0u32..4, arb_value()), 1..20)) {
+        let tree = ContextTree::new();
+        let mut node = NODE_NONE;
+        for (attr, value) in &pairs {
+            node = tree.get_child(node, *attr, value);
+        }
+        let size = tree.len();
+        let mut node2 = NODE_NONE;
+        for (attr, value) in &pairs {
+            node2 = tree.get_child(node2, *attr, value);
+        }
+        prop_assert_eq!(node, node2);
+        prop_assert_eq!(tree.len(), size);
+    }
+
+    /// Snapshot unpack = concatenation of node paths and immediates, in
+    /// entry order.
+    #[test]
+    fn snapshot_unpack_matches_manual_expansion(
+        stack in prop::collection::vec((0u32..4, arb_value()), 1..10),
+        imm in prop::collection::vec((4u32..8, arb_value()), 0..5),
+    ) {
+        let tree = ContextTree::new();
+        let mut node = NODE_NONE;
+        for (attr, value) in &stack {
+            node = tree.get_child(node, *attr, value);
+        }
+        let mut rec = SnapshotRecord::new();
+        rec.push_node(node);
+        for (attr, value) in &imm {
+            rec.push_imm(*attr, value.clone());
+        }
+        let flat = rec.unpack(&tree);
+        let mut expect = stack.clone();
+        expect.extend(imm.iter().cloned());
+        prop_assert_eq!(flat.pairs().to_vec(), expect);
+    }
+
+    /// FlatRecord::get returns the last pushed value for an attribute,
+    /// first returns the first, and all preserves order.
+    #[test]
+    fn flat_record_access(values in prop::collection::vec(arb_value(), 1..20)) {
+        let mut rec = FlatRecord::new();
+        for v in &values {
+            rec.push(0, v.clone());
+        }
+        prop_assert_eq!(rec.first(0), Some(&values[0]));
+        prop_assert_eq!(rec.get(0), Some(&values[values.len() - 1]));
+        let collected: Vec<_> = rec.all(0).cloned().collect();
+        prop_assert_eq!(collected, values);
+    }
+}

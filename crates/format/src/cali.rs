@@ -1,0 +1,571 @@
+//! The `.cali` stream codec.
+//!
+//! A `.cali` stream is a line-oriented encoding of one dataset. It is
+//! self-describing: attribute metadata and context-tree nodes are written
+//! as records of their own, on first reference, so a reader can rebuild
+//! the dictionary and tree incrementally while scanning the stream.
+//!
+//! Record kinds (the `__rec` field selects the kind):
+//!
+//! ```text
+//! __rec=attr,id=<u32>,name=<esc>,type=<typename>,prop=<propnames>
+//! __rec=node,id=<u32>,attr=<u32>,parent=<u32>,data=<esc>     (parent omitted for roots)
+//! __rec=ctx[,ref=<u32>]*[,attr=<u32>,data=<esc>]*             (one snapshot)
+//! __rec=globals[,ref=<u32>]*[,attr=<u32>,data=<esc>]*         (dataset metadata)
+//! ```
+//!
+//! Immediate values are rendered with [`Value::to_string`] and parsed
+//! back using the attribute's declared type, so the encoding is
+//! type-faithful for int/uint/bool and shortest-roundtrip for floats.
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use caliper_data::{
+    AttrId, Attribute, Entry, FlatRecord, FxHashMap, FxHashSet, NodeId, Properties,
+    SnapshotRecord, Value, ValueType, NODE_NONE,
+};
+
+use crate::dataset::Dataset;
+use crate::escape::{escape_into, split_fields};
+
+/// Errors produced by the `.cali` reader.
+#[derive(Debug)]
+pub enum CaliError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed record with a description and 1-based line number.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CaliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaliError::Io(e) => write!(f, "i/o error: {e}"),
+            CaliError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaliError {}
+
+impl From<io::Error> for CaliError {
+    fn from(e: io::Error) -> CaliError {
+        CaliError::Io(e)
+    }
+}
+
+/// Streaming `.cali` writer.
+///
+/// Attribute and node records are emitted lazily, the first time a
+/// snapshot references them, so the stream stays compact and can be
+/// produced incrementally while the target program runs.
+pub struct CaliWriter<W: Write> {
+    out: W,
+    written_attrs: FxHashSet<AttrId>,
+    written_nodes: FxHashSet<NodeId>,
+    line: String,
+}
+
+impl<W: Write> CaliWriter<W> {
+    /// Create a writer over any `io::Write` sink.
+    pub fn new(out: W) -> CaliWriter<W> {
+        CaliWriter {
+            out,
+            written_attrs: FxHashSet::default(),
+            written_nodes: FxHashSet::default(),
+            line: String::with_capacity(256),
+        }
+    }
+
+    fn ensure_attr(&mut self, ds: &Dataset, id: AttrId) -> io::Result<()> {
+        if self.written_attrs.contains(&id) {
+            return Ok(());
+        }
+        let attr = match ds.store.get(id) {
+            Some(a) => a,
+            None => return Ok(()), // dangling id: skip silently
+        };
+        self.written_attrs.insert(id);
+        self.line.clear();
+        self.line.push_str("__rec=attr,id=");
+        self.line.push_str(&id.to_string());
+        self.line.push_str(",name=");
+        escape_into(attr.name(), &mut self.line);
+        self.line.push_str(",type=");
+        self.line.push_str(attr.value_type().name());
+        self.line.push_str(",prop=");
+        // The property list is comma-separated and must be escaped.
+        escape_into(&attr.properties().encode(), &mut self.line);
+        self.line.push('\n');
+        self.out.write_all(self.line.as_bytes())
+    }
+
+    fn ensure_node(&mut self, ds: &Dataset, id: NodeId) -> io::Result<()> {
+        if id == NODE_NONE || self.written_nodes.contains(&id) {
+            return Ok(());
+        }
+        // Parents must appear before children so the reader can rebuild
+        // the tree in one pass. Collect the unwritten ancestor chain
+        // iteratively — nesting can be arbitrarily deep, so recursion
+        // would overflow the stack.
+        let mut chain = Vec::new();
+        let mut cur = id;
+        while cur != NODE_NONE && !self.written_nodes.contains(&cur) {
+            let Some(node) = ds.tree.node(cur) else {
+                break; // dangling id: skip silently
+            };
+            let parent = node.parent;
+            chain.push((cur, node));
+            cur = parent;
+        }
+        for (id, node) in chain.into_iter().rev() {
+            self.ensure_attr(ds, node.attr)?;
+            self.written_nodes.insert(id);
+            self.line.clear();
+            self.line.push_str("__rec=node,id=");
+            self.line.push_str(&id.to_string());
+            self.line.push_str(",attr=");
+            self.line.push_str(&node.attr.to_string());
+            if node.parent != NODE_NONE {
+                self.line.push_str(",parent=");
+                self.line.push_str(&node.parent.to_string());
+            }
+            self.line.push_str(",data=");
+            escape_into(&node.value.to_string(), &mut self.line);
+            self.line.push('\n');
+            self.out.write_all(self.line.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn write_entry_list(
+        &mut self,
+        ds: &Dataset,
+        kind: &str,
+        refs: &[NodeId],
+        imms: &[(AttrId, Value)],
+    ) -> io::Result<()> {
+        for &r in refs {
+            self.ensure_node(ds, r)?;
+        }
+        for (a, _) in imms {
+            self.ensure_attr(ds, *a)?;
+        }
+        self.line.clear();
+        self.line.push_str("__rec=");
+        self.line.push_str(kind);
+        for &r in refs {
+            if r != NODE_NONE {
+                self.line.push_str(",ref=");
+                self.line.push_str(&r.to_string());
+            }
+        }
+        for (a, v) in imms {
+            self.line.push_str(",attr=");
+            self.line.push_str(&a.to_string());
+            self.line.push_str(",data=");
+            escape_into(&v.to_string(), &mut self.line);
+        }
+        self.line.push('\n');
+        self.out.write_all(self.line.as_bytes())
+    }
+
+    /// Write one snapshot record.
+    pub fn write_snapshot(&mut self, ds: &Dataset, record: &SnapshotRecord) -> io::Result<()> {
+        let mut refs = Vec::new();
+        let mut imms = Vec::new();
+        for entry in record.entries() {
+            match entry {
+                Entry::Node(id) => refs.push(*id),
+                Entry::Imm(attr, value) => imms.push((*attr, value.clone())),
+            }
+        }
+        self.write_entry_list(ds, "ctx", &refs, &imms)
+    }
+
+    /// Write one globals (metadata) record.
+    pub fn write_globals(&mut self, ds: &Dataset, record: &FlatRecord) -> io::Result<()> {
+        let imms: Vec<_> = record.pairs().to_vec();
+        self.write_entry_list(ds, "globals", &[], &imms)
+    }
+
+    /// Write a whole dataset: globals first, then all snapshots.
+    pub fn write_dataset(&mut self, ds: &Dataset) -> io::Result<()> {
+        for g in &ds.globals {
+            self.write_globals(ds, g)?;
+        }
+        for rec in &ds.records {
+            self.write_snapshot(ds, rec)?;
+        }
+        Ok(())
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Serialize a dataset to a `.cali` byte buffer.
+pub fn to_bytes(ds: &Dataset) -> Vec<u8> {
+    let mut w = CaliWriter::new(Vec::new());
+    w.write_dataset(ds).expect("writing to Vec cannot fail");
+    w.finish().expect("flushing Vec cannot fail")
+}
+
+/// Write a dataset to a file at `path`.
+pub fn write_file(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = CaliWriter::new(io::BufWriter::new(file));
+    w.write_dataset(ds)?;
+    w.finish()?.flush()
+}
+
+/// Incremental `.cali` reader state.
+///
+/// Ids in the stream are remapped to fresh ids in the reader's own
+/// store/tree, so datasets from different processes (whose id spaces
+/// overlap) can be merged by reading them into one `CaliReader`.
+pub struct CaliReader {
+    ds: Dataset,
+    attr_map: FxHashMap<u32, Attribute>,
+    node_map: FxHashMap<u32, NodeId>,
+    line_no: usize,
+}
+
+impl CaliReader {
+    /// Create a reader building a fresh dataset.
+    pub fn new() -> CaliReader {
+        CaliReader::into_dataset(Dataset::new())
+    }
+
+    /// Create a reader appending into an existing dataset (merging).
+    pub fn into_dataset(ds: Dataset) -> CaliReader {
+        CaliReader {
+            ds,
+            attr_map: FxHashMap::default(),
+            node_map: FxHashMap::default(),
+            line_no: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> CaliError {
+        CaliError::Parse {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    fn lookup_attr(&self, id: u32) -> Result<Attribute, CaliError> {
+        self.attr_map
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| self.err(format!("reference to undeclared attribute {id}")))
+    }
+
+    /// Process one line of the stream.
+    pub fn read_line(&mut self, line: &str) -> Result<(), CaliError> {
+        self.line_no += 1;
+        let line = line.trim_end_matches(['\n', '\r']);
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        let fields = split_fields(line);
+        let kind = fields
+            .iter()
+            .find(|(k, _)| k == "__rec")
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| self.err("missing __rec field"))?;
+        match kind {
+            "attr" => self.read_attr(&fields),
+            "node" => self.read_node(&fields),
+            "ctx" => self.read_entry_list(&fields, false),
+            "globals" => self.read_entry_list(&fields, true),
+            other => Err(self.err(format!("unknown record kind '{other}'"))),
+        }
+    }
+
+    fn read_attr(&mut self, fields: &[(String, String)]) -> Result<(), CaliError> {
+        let mut id = None;
+        let mut name = None;
+        let mut vtype = None;
+        let mut props = Properties::DEFAULT;
+        for (k, v) in fields {
+            match k.as_str() {
+                "id" => id = v.parse::<u32>().ok(),
+                "name" => name = Some(v.clone()),
+                "type" => vtype = ValueType::from_name(v),
+                "prop" => props = Properties::parse(v),
+                _ => {}
+            }
+        }
+        let id = id.ok_or_else(|| self.err("attr record without valid id"))?;
+        let name = name.ok_or_else(|| self.err("attr record without name"))?;
+        let vtype = vtype.ok_or_else(|| self.err("attr record without valid type"))?;
+        let attr = self
+            .ds
+            .store
+            .create(&name, vtype, props)
+            .map_err(|e| self.err(e.to_string()))?;
+        self.attr_map.insert(id, attr);
+        Ok(())
+    }
+
+    fn read_node(&mut self, fields: &[(String, String)]) -> Result<(), CaliError> {
+        let mut id = None;
+        let mut attr = None;
+        let mut parent = None;
+        let mut data = None;
+        for (k, v) in fields {
+            match k.as_str() {
+                "id" => id = v.parse::<u32>().ok(),
+                "attr" => attr = v.parse::<u32>().ok(),
+                "parent" => parent = v.parse::<u32>().ok(),
+                "data" => data = Some(v.clone()),
+                _ => {}
+            }
+        }
+        let id = id.ok_or_else(|| self.err("node record without valid id"))?;
+        let attr_id = attr.ok_or_else(|| self.err("node record without attr"))?;
+        let data = data.ok_or_else(|| self.err("node record without data"))?;
+        let attr = self.lookup_attr(attr_id)?;
+        let value = Value::parse_typed(&data, attr.value_type())
+            .ok_or_else(|| self.err(format!("cannot parse '{data}' as {}", attr.value_type())))?;
+        let parent_local = match parent {
+            Some(p) => *self
+                .node_map
+                .get(&p)
+                .ok_or_else(|| self.err(format!("node {id} references unknown parent {p}")))?,
+            None => NODE_NONE,
+        };
+        let local = self.ds.tree.get_child(parent_local, attr.id(), &value);
+        self.node_map.insert(id, local);
+        Ok(())
+    }
+
+    fn read_entry_list(
+        &mut self,
+        fields: &[(String, String)],
+        globals: bool,
+    ) -> Result<(), CaliError> {
+        let mut record = SnapshotRecord::new();
+        let mut flat = FlatRecord::new();
+        let mut pending_attr: Option<Attribute> = None;
+        for (k, v) in fields {
+            match k.as_str() {
+                "ref" => {
+                    let id: u32 = v
+                        .parse()
+                        .map_err(|_| self.err(format!("invalid node ref '{v}'")))?;
+                    let local = *self
+                        .node_map
+                        .get(&id)
+                        .ok_or_else(|| self.err(format!("ref to unknown node {id}")))?;
+                    record.push_node(local);
+                }
+                "attr" => {
+                    let id: u32 = v
+                        .parse()
+                        .map_err(|_| self.err(format!("invalid attr id '{v}'")))?;
+                    pending_attr = Some(self.lookup_attr(id)?);
+                }
+                "data" => {
+                    let attr = pending_attr
+                        .take()
+                        .ok_or_else(|| self.err("data field without preceding attr"))?;
+                    let value = Value::parse_typed(v, attr.value_type()).ok_or_else(|| {
+                        self.err(format!("cannot parse '{v}' as {}", attr.value_type()))
+                    })?;
+                    if globals {
+                        flat.push(attr.id(), value);
+                    } else {
+                        record.push_imm(attr.id(), value);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if globals {
+            self.ds.globals.push(flat);
+        } else {
+            self.ds.records.push(record);
+        }
+        Ok(())
+    }
+
+    /// Consume a whole `BufRead` stream.
+    pub fn read_stream(&mut self, reader: impl BufRead) -> Result<(), CaliError> {
+        for line in reader.lines() {
+            self.read_line(&line?)?;
+        }
+        Ok(())
+    }
+
+    /// Finish reading and return the dataset.
+    pub fn finish(self) -> Dataset {
+        self.ds
+    }
+}
+
+impl Default for CaliReader {
+    fn default() -> CaliReader {
+        CaliReader::new()
+    }
+}
+
+/// Parse a `.cali` byte buffer into a dataset.
+pub fn from_bytes(bytes: &[u8]) -> Result<Dataset, CaliError> {
+    let mut reader = CaliReader::new();
+    reader.read_stream(io::BufReader::new(bytes))?;
+    Ok(reader.finish())
+}
+
+/// Read a `.cali` file into a dataset.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Dataset, CaliError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = CaliReader::new();
+    reader.read_stream(io::BufReader::new(file))?;
+    Ok(reader.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::Properties;
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let func = ds.attribute("function", ValueType::Str, Properties::NESTED);
+        let iter = ds.attribute("loop.iteration", ValueType::Int, Properties::AS_VALUE);
+        let dur = ds.attribute(
+            "time.duration",
+            ValueType::Float,
+            Properties::AS_VALUE | Properties::AGGREGATABLE,
+        );
+        ds.set_global("experiment", "unit-test");
+
+        let main = ds.tree.get_child(NODE_NONE, func.id(), &Value::str("main"));
+        let foo = ds.tree.get_child(main, func.id(), &Value::str("foo"));
+        for i in 0..4 {
+            let mut rec = SnapshotRecord::new();
+            rec.push_node(if i % 2 == 0 { foo } else { main });
+            rec.push_imm(iter.id(), Value::Int(i));
+            rec.push_imm(dur.id(), Value::Float(10.0 * (i as f64 + 1.0)));
+            ds.push(rec);
+        }
+        ds
+    }
+
+    #[test]
+    fn roundtrip_preserves_flat_records() {
+        let ds = sample_dataset();
+        let bytes = to_bytes(&ds);
+        let ds2 = from_bytes(&bytes).unwrap();
+
+        assert_eq!(ds2.len(), ds.len());
+        let orig: Vec<String> = ds.flat_records().map(|r| r.describe(&ds.store)).collect();
+        let read: Vec<String> = ds2
+            .flat_records()
+            .map(|r| r.describe(&ds2.store))
+            .collect();
+        assert_eq!(orig, read);
+        assert_eq!(ds2.global("experiment"), Some(Value::str("unit-test")));
+    }
+
+    #[test]
+    fn attributes_keep_types_and_properties() {
+        let ds2 = from_bytes(&to_bytes(&sample_dataset())).unwrap();
+        let dur = ds2.store.find("time.duration").unwrap();
+        assert_eq!(dur.value_type(), ValueType::Float);
+        assert!(dur.is_aggregatable());
+        assert!(dur.is_as_value());
+        let func = ds2.store.find("function").unwrap();
+        assert!(func.is_nested());
+    }
+
+    #[test]
+    fn lazy_metadata_written_once() {
+        let bytes = to_bytes(&sample_dataset());
+        let text = String::from_utf8(bytes).unwrap();
+        let attr_lines = text
+            .lines()
+            .filter(|l| l.starts_with("__rec=attr"))
+            .count();
+        let node_lines = text
+            .lines()
+            .filter(|l| l.starts_with("__rec=node"))
+            .count();
+        // 4 attributes (incl. global 'experiment'), 2 nodes, each once.
+        assert_eq!(attr_lines, 4);
+        assert_eq!(node_lines, 2);
+    }
+
+    #[test]
+    fn merging_two_streams_shares_dictionary() {
+        let ds = sample_dataset();
+        let bytes = to_bytes(&ds);
+        let mut reader = CaliReader::new();
+        reader.read_stream(io::BufReader::new(&bytes[..])).unwrap();
+        // Re-read the same stream: remapping must tolerate overlapping ids.
+        let mut reader = CaliReader::into_dataset(reader.finish());
+        reader.read_stream(io::BufReader::new(&bytes[..])).unwrap();
+        let merged = reader.finish();
+        assert_eq!(merged.len(), 2 * ds.len());
+        assert_eq!(merged.store.len(), ds.store.len());
+        assert_eq!(merged.tree.len(), ds.tree.len());
+    }
+
+    #[test]
+    fn special_characters_roundtrip() {
+        let mut ds = Dataset::new();
+        let ann = ds.attribute("annotation", ValueType::Str, Properties::NESTED);
+        let nasty = "a,b=c\\d\ne";
+        let node = ds.tree.get_child(NODE_NONE, ann.id(), &Value::str(nasty));
+        let mut rec = SnapshotRecord::new();
+        rec.push_node(node);
+        ds.push(rec);
+
+        let ds2 = from_bytes(&to_bytes(&ds)).unwrap();
+        let flat: Vec<_> = ds2.flat_records().collect();
+        let ann2 = ds2.store.find("annotation").unwrap();
+        assert_eq!(flat[0].get(ann2.id()), Some(&Value::str(nasty)));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let mut reader = CaliReader::new();
+        reader.read_line("__rec=attr,id=0,name=x,type=int,prop=default").unwrap();
+        let err = reader.read_line("__rec=node,id=0,attr=99,data=1").unwrap_err();
+        match err {
+            CaliError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("undeclared attribute"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(reader.read_line("no record kind here").is_err());
+        assert!(reader.read_line("# comment").is_ok());
+        assert!(reader.read_line("").is_ok());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("caliper-format-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.cali");
+        let ds = sample_dataset();
+        write_file(&ds, &path).unwrap();
+        let ds2 = read_file(&path).unwrap();
+        assert_eq!(ds2.len(), ds.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,85 @@
+//! CSV output for aggregation results — the format the benchmark
+//! harnesses emit so figures can be re-plotted with any tool.
+
+use caliper_data::{Attribute, FlatRecord};
+
+use crate::table::format_value;
+
+/// Quote a CSV field per RFC 4180 when needed.
+pub fn csv_field(input: &str) -> String {
+    if input.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(input.len() + 2);
+        out.push('"');
+        for ch in input.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        input.to_string()
+    }
+}
+
+/// Render records as CSV with one column per attribute in `columns`.
+pub fn records_to_csv(columns: &[Attribute], records: &[FlatRecord]) -> String {
+    let mut out = String::new();
+    for (i, col) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_field(col.name()));
+    }
+    out.push('\n');
+    for rec in records {
+        for (i, col) in columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(v) = rec.path_string(col.id()) {
+                out.push_str(&csv_field(&format_value(&v)));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::{AttributeStore, Value, ValueType};
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn renders_header_and_rows() {
+        let store = AttributeStore::new();
+        let k = store.create_simple("kernel", ValueType::Str);
+        let n = store.create_simple("count", ValueType::UInt);
+        let mut rec = FlatRecord::new();
+        rec.push(k.id(), Value::str("advec,cell"));
+        rec.push(n.id(), Value::UInt(5));
+        let csv = records_to_csv(&[k, n], &[rec]);
+        assert_eq!(csv, "kernel,count\n\"advec,cell\",5\n");
+    }
+
+    #[test]
+    fn missing_cells_are_empty() {
+        let store = AttributeStore::new();
+        let k = store.create_simple("kernel", ValueType::Str);
+        let n = store.create_simple("count", ValueType::UInt);
+        let mut rec = FlatRecord::new();
+        rec.push(n.id(), Value::UInt(5));
+        let csv = records_to_csv(&[k, n], &[rec]);
+        assert_eq!(csv, "kernel,count\n,5\n");
+    }
+}

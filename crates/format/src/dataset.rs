@@ -1,0 +1,154 @@
+//! In-memory dataset: the unit of off-line processing.
+//!
+//! A dataset corresponds to one `.cali` file — typically the output of
+//! one process (or thread) of a monitored program: an attribute
+//! dictionary, a context tree, dataset-global metadata records, and a
+//! sequence of snapshot records.
+
+use std::sync::Arc;
+
+use caliper_data::{
+    AttributeStore, ContextTree, FlatRecord, Properties, SnapshotRecord, Value, ValueType,
+};
+
+/// An in-memory performance dataset.
+#[derive(Clone)]
+pub struct Dataset {
+    /// Attribute dictionary for all records in this dataset.
+    pub store: Arc<AttributeStore>,
+    /// Context tree referenced by the snapshot records.
+    pub tree: Arc<ContextTree>,
+    /// Dataset-wide metadata (e.g. `experiment`, `mpi.world.size`).
+    pub globals: Vec<FlatRecord>,
+    /// The snapshot records, in stream order.
+    pub records: Vec<SnapshotRecord>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with fresh store and tree.
+    pub fn new() -> Dataset {
+        Dataset {
+            store: Arc::new(AttributeStore::new()),
+            tree: Arc::new(ContextTree::new()),
+            globals: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Create a dataset sharing an existing store and tree (e.g. the
+    /// runtime's own, when flushing in-process).
+    pub fn with_context(store: Arc<AttributeStore>, tree: Arc<ContextTree>) -> Dataset {
+        Dataset {
+            store,
+            tree,
+            globals: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a snapshot record.
+    pub fn push(&mut self, record: SnapshotRecord) {
+        self.records.push(record);
+    }
+
+    /// Append a global (metadata) record.
+    pub fn push_global(&mut self, record: FlatRecord) {
+        self.globals.push(record);
+    }
+
+    /// Add a single `label=value` global, interning the label with
+    /// `GLOBAL` property.
+    pub fn set_global(&mut self, label: &str, value: impl Into<Value>) {
+        let value = value.into();
+        let attr = match self.store.create(label, value.value_type(), Properties::GLOBAL) {
+            Ok(a) => a,
+            // Type conflict: the label exists with another type; keep it.
+            Err(_) => self.store.find(label).expect("conflict implies existence"),
+        };
+        let mut rec = FlatRecord::new();
+        rec.push(attr.id(), value);
+        self.globals.push(rec);
+    }
+
+    /// Look up a global value by label (last writer wins).
+    pub fn global(&self, label: &str) -> Option<Value> {
+        let attr = self.store.find(label)?;
+        self.globals
+            .iter()
+            .rev()
+            .find_map(|r| r.get(attr.id()).cloned())
+    }
+
+    /// Number of snapshot records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if there are no snapshot records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate the snapshot records expanded to flat records.
+    pub fn flat_records(&self) -> impl Iterator<Item = FlatRecord> + '_ {
+        self.records.iter().map(|r| r.unpack(&self.tree))
+    }
+
+    /// Convenience: intern an attribute in this dataset's store.
+    pub fn attribute(&self, name: &str, vtype: ValueType, props: Properties) -> caliper_data::Attribute {
+        self.store
+            .create(name, vtype, props)
+            .expect("attribute type conflict")
+    }
+}
+
+impl Default for Dataset {
+    fn default() -> Dataset {
+        Dataset::new()
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dataset({} records, {} globals, {} attrs, {} nodes)",
+            self.records.len(),
+            self.globals.len(),
+            self.store.len(),
+            self.tree.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::NODE_NONE;
+
+    #[test]
+    fn globals_last_writer_wins() {
+        let mut ds = Dataset::new();
+        ds.set_global("mpi.world.size", 4u64);
+        ds.set_global("mpi.world.size", 8u64);
+        assert_eq!(ds.global("mpi.world.size"), Some(Value::UInt(8)));
+        assert_eq!(ds.global("missing"), None);
+    }
+
+    #[test]
+    fn flat_records_expand_against_tree() {
+        let ds = {
+            let mut ds = Dataset::new();
+            let func = ds.attribute("function", ValueType::Str, Properties::NESTED);
+            let node = ds.tree.get_child(NODE_NONE, func.id(), &Value::str("main"));
+            let mut rec = SnapshotRecord::new();
+            rec.push_node(node);
+            ds.push(rec);
+            ds
+        };
+        let flats: Vec<_> = ds.flat_records().collect();
+        assert_eq!(flats.len(), 1);
+        let func = ds.store.find("function").unwrap();
+        assert_eq!(flats[0].get(func.id()), Some(&Value::str("main")));
+    }
+}

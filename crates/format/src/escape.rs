@@ -1,0 +1,147 @@
+//! Escaping rules of the `.cali` line encoding.
+//!
+//! The stream is line-oriented; fields are separated by `,` and keys from
+//! values by `=`. Values may contain any of these characters, so they are
+//! escaped with `\`. Newlines are encoded as `\n` (backslash + 'n') so a
+//! record always occupies exactly one physical line.
+
+/// Escape a value string for embedding in a `.cali` line.
+pub fn escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    escape_into(input, &mut out);
+    out
+}
+
+/// Escape `input`, appending to `out`. Avoids allocation when the caller
+/// builds a whole line in one buffer.
+pub fn escape_into(input: &str, out: &mut String) {
+    for ch in input.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            ',' => out.push_str("\\,"),
+            '=' => out.push_str("\\="),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Reverse [`escape`]. Unknown escape sequences keep the escaped
+/// character (lenient, so streams from newer writers stay readable).
+pub fn unescape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut chars = input.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Split a `.cali` line into `(key, value)` fields on unescaped commas
+/// and the first unescaped `=` in each field.
+pub fn split_fields(line: &str) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut key = String::new();
+    let mut value = String::new();
+    let mut in_value = false;
+    let mut chars = line.chars();
+    let mut push_field = |key: &mut String, value: &mut String, in_value: &mut bool| {
+        if !key.is_empty() || *in_value {
+            fields.push((std::mem::take(key), std::mem::take(value)));
+        }
+        *in_value = false;
+    };
+    while let Some(ch) = chars.next() {
+        match ch {
+            '\\' => {
+                let target = if in_value { &mut value } else { &mut key };
+                match chars.next() {
+                    Some('n') => target.push('\n'),
+                    Some('r') => target.push('\r'),
+                    Some(other) => target.push(other),
+                    None => target.push('\\'),
+                }
+            }
+            ',' => push_field(&mut key, &mut value, &mut in_value),
+            '=' if !in_value => in_value = true,
+            other => {
+                if in_value {
+                    value.push(other);
+                } else {
+                    key.push(other);
+                }
+            }
+        }
+    }
+    push_field(&mut key, &mut value, &mut in_value);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain() {
+        assert_eq!(unescape(&escape("hello world")), "hello world");
+    }
+
+    #[test]
+    fn roundtrip_special_chars() {
+        let nasty = "a,b=c\\d\ne\rf";
+        assert_eq!(unescape(&escape(nasty)), nasty);
+        // escaped form has no raw separators or newlines
+        let esc = escape(nasty);
+        assert!(!esc.contains('\n'));
+        for (i, ch) in esc.char_indices() {
+            if ch == ',' || ch == '=' {
+                assert_eq!(&esc[i - 1..i], "\\");
+            }
+        }
+    }
+
+    #[test]
+    fn split_basic_fields() {
+        let fields = split_fields("__rec=node,id=5,data=foo");
+        assert_eq!(
+            fields,
+            vec![
+                ("__rec".into(), "node".into()),
+                ("id".into(), "5".into()),
+                ("data".into(), "foo".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn split_handles_escapes_and_equals_in_value() {
+        let fields = split_fields("data=a\\,b\\=c,attr=x=y");
+        assert_eq!(
+            fields,
+            vec![
+                ("data".into(), "a,b=c".into()),
+                ("attr".into(), "x=y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn split_empty_value_and_flag_fields() {
+        let fields = split_fields("a=,b");
+        assert_eq!(
+            fields,
+            vec![("a".into(), "".into()), ("b".into(), "".into())]
+        );
+        assert!(split_fields("").is_empty());
+    }
+}

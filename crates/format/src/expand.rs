@@ -1,0 +1,75 @@
+//! The "expand" formatter: one record per line as
+//! `label=value,label=value,...` — Caliper's human-greppable debug
+//! output for record streams.
+
+use caliper_data::{AttributeStore, FlatRecord};
+
+use crate::escape::escape_into;
+
+/// Render one record in expand form.
+pub fn expand_record(store: &AttributeStore, record: &FlatRecord) -> String {
+    let mut out = String::new();
+    for (i, (attr, value)) in record.pairs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match store.name_of(*attr) {
+            Some(name) => escape_into(&name, &mut out),
+            None => out.push_str(&format!("#{attr}")),
+        }
+        out.push('=');
+        escape_into(&value.to_string(), &mut out);
+    }
+    out
+}
+
+/// Render a record list, one record per line.
+pub fn expand_records(store: &AttributeStore, records: &[FlatRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&expand_record(store, rec));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::{Value, ValueType};
+
+    #[test]
+    fn expands_in_record_order() {
+        let store = AttributeStore::new();
+        let a = store.create_simple("function", ValueType::Str);
+        let b = store.create_simple("loop.iteration", ValueType::Int);
+        let mut rec = FlatRecord::new();
+        rec.push(a.id(), Value::str("main"));
+        rec.push(a.id(), Value::str("foo"));
+        rec.push(b.id(), Value::Int(17));
+        assert_eq!(
+            expand_record(&store, &rec),
+            "function=main,function=foo,loop.iteration=17"
+        );
+    }
+
+    #[test]
+    fn escapes_separators_in_values() {
+        let store = AttributeStore::new();
+        let a = store.create_simple("x", ValueType::Str);
+        let mut rec = FlatRecord::new();
+        rec.push(a.id(), Value::str("a,b=c"));
+        assert_eq!(expand_record(&store, &rec), "x=a\\,b\\=c");
+    }
+
+    #[test]
+    fn multiple_records_one_per_line() {
+        let store = AttributeStore::new();
+        let a = store.create_simple("x", ValueType::Int);
+        let mut r1 = FlatRecord::new();
+        r1.push(a.id(), Value::Int(1));
+        let mut r2 = FlatRecord::new();
+        r2.push(a.id(), Value::Int(2));
+        assert_eq!(expand_records(&store, &[r1, r2]), "x=1\nx=2\n");
+    }
+}

@@ -1,0 +1,95 @@
+//! Collapsed-stack ("flamegraph") output.
+//!
+//! Renders aggregation results in the `folded` format consumed by
+//! Brendan Gregg's `flamegraph.pl` and by `inferno`:
+//!
+//! ```text
+//! main;hydro_cycle;calc-dt 4242
+//! ```
+//!
+//! Path components come from the selected key columns in order (nested
+//! attributes contribute their whole `a/b/c` path, split on `/`); the
+//! value is the first numeric result column, rounded to an integer as
+//! the format requires.
+
+use caliper_data::{Attribute, FlatRecord};
+
+/// Render records as collapsed stacks. `path_columns` build the stack
+/// (left = outermost); `value_column` supplies the sample weight.
+/// Records missing the value column, or with no path at all, are
+/// skipped.
+pub fn records_to_flamegraph(
+    path_columns: &[Attribute],
+    value_column: &Attribute,
+    records: &[FlatRecord],
+) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let Some(value) = rec.get(value_column.id()).and_then(|v| v.to_f64()) else {
+            continue;
+        };
+        let mut frames: Vec<String> = Vec::new();
+        for col in path_columns {
+            if let Some(path) = rec.path_string(col.id()) {
+                for frame in path.to_string().split('/') {
+                    if !frame.is_empty() {
+                        // The folded format reserves ';' and ' '.
+                        frames.push(frame.replace([';', ' '], "_"));
+                    }
+                }
+            }
+        }
+        if frames.is_empty() {
+            frames.push("(root)".to_string());
+        }
+        out.push_str(&frames.join(";"));
+        out.push(' ');
+        out.push_str(&format!("{}\n", value.round() as i64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::{AttributeStore, Value, ValueType};
+
+    #[test]
+    fn renders_folded_stacks() {
+        let store = AttributeStore::new();
+        let func = store.create_simple("function", ValueType::Str);
+        let kernel = store.create_simple("kernel", ValueType::Str);
+        let time = store.create_simple("time", ValueType::Float);
+
+        let mut rec = FlatRecord::new();
+        rec.push(func.id(), Value::str("main"));
+        rec.push(func.id(), Value::str("hydro cycle"));
+        rec.push(kernel.id(), Value::str("calc-dt"));
+        rec.push(time.id(), Value::Float(42.4));
+
+        let out = records_to_flamegraph(&[func, kernel], &time, &[rec]);
+        assert_eq!(out, "main;hydro_cycle;calc-dt 42\n");
+    }
+
+    #[test]
+    fn records_without_value_are_skipped() {
+        let store = AttributeStore::new();
+        let func = store.create_simple("function", ValueType::Str);
+        let time = store.create_simple("time", ValueType::Float);
+        let mut rec = FlatRecord::new();
+        rec.push(func.id(), Value::str("main"));
+        let out = records_to_flamegraph(&[func], &time, &[rec]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pathless_records_get_a_root_frame() {
+        let store = AttributeStore::new();
+        let func = store.create_simple("function", ValueType::Str);
+        let time = store.create_simple("time", ValueType::Float);
+        let mut rec = FlatRecord::new();
+        rec.push(time.id(), Value::Float(7.0));
+        let out = records_to_flamegraph(&[func], &time, &[rec]);
+        assert_eq!(out, "(root) 7\n");
+    }
+}

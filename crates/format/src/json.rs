@@ -1,0 +1,130 @@
+//! Hand-rolled JSON encoder for record lists.
+//!
+//! Emits an array of objects, one per record, with attribute labels as
+//! keys. Implemented in-repo (rather than via serde_json) to keep the
+//! dependency closure small; the subset of JSON we need — objects of
+//! string/number/bool values — is tiny.
+
+use caliper_data::{AttributeStore, FlatRecord, Value};
+
+/// Escape a string per RFC 8259.
+pub fn escape_json(input: &str) -> String {
+    let mut out = String::with_capacity(input.len() + 2);
+    for ch in input.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encode one value as a JSON literal. Non-finite floats become `null`
+/// (JSON has no NaN/Inf).
+pub fn value_to_json(value: &Value) -> String {
+    match value {
+        Value::Str(s) => format!("\"{}\"", escape_json(s)),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Float(f) if f.is_finite() => {
+            // Ensure the output re-parses as a float, not an int.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Value::Float(_) => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+/// Encode one record as a JSON object. Repeated (nested) attributes are
+/// joined into their path string, matching the table formatter.
+pub fn record_to_json(store: &AttributeStore, record: &FlatRecord) -> String {
+    let mut out = String::from("{");
+    let mut seen = Vec::new();
+    let mut first = true;
+    for (attr, _) in record.pairs() {
+        if seen.contains(attr) {
+            continue;
+        }
+        seen.push(*attr);
+        let name = match store.name_of(*attr) {
+            Some(n) => n,
+            None => continue,
+        };
+        let value = record
+            .path_string(*attr)
+            .expect("attribute present by construction");
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&escape_json(&name));
+        out.push_str("\":");
+        out.push_str(&value_to_json(&value));
+    }
+    out.push('}');
+    out
+}
+
+/// Encode a record list as a JSON array of objects (pretty: one record
+/// per line).
+pub fn records_to_json(store: &AttributeStore, records: &[FlatRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&record_to_json(store, rec));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::ValueType;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn values_encode_per_type() {
+        assert_eq!(value_to_json(&Value::Int(-3)), "-3");
+        assert_eq!(value_to_json(&Value::UInt(3)), "3");
+        assert_eq!(value_to_json(&Value::Float(1.5)), "1.5");
+        assert_eq!(value_to_json(&Value::Float(2.0)), "2.0");
+        assert_eq!(value_to_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(value_to_json(&Value::Bool(true)), "true");
+        assert_eq!(value_to_json(&Value::str("x")), "\"x\"");
+    }
+
+    #[test]
+    fn records_render_as_objects() {
+        let store = AttributeStore::new();
+        let func = store.create_simple("function", ValueType::Str);
+        let count = store.create_simple("count", ValueType::UInt);
+        let mut rec = FlatRecord::new();
+        rec.push(func.id(), Value::str("main"));
+        rec.push(func.id(), Value::str("foo"));
+        rec.push(count.id(), Value::UInt(7));
+        let json = record_to_json(&store, &rec);
+        assert_eq!(json, "{\"function\":\"main/foo\",\"count\":7}");
+
+        let arr = records_to_json(&store, &[rec.clone(), rec]);
+        assert!(arr.starts_with("[\n{"));
+        assert_eq!(arr.matches("\"count\":7").count(), 2);
+    }
+}

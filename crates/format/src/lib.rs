@@ -1,0 +1,44 @@
+//! # caliper-format — record stream I/O and output formatters
+//!
+//! This crate provides the storage substrate of the reproduction:
+//!
+//! * [`Dataset`] — the in-memory representation of one process's
+//!   performance data (attribute dictionary + context tree + globals +
+//!   snapshot records).
+//! * [`cali`] — the self-describing, line-oriented `.cali` stream codec
+//!   used to persist per-process datasets for off-line cross-process and
+//!   analytical aggregation (paper §IV-C).
+//! * [`table`], [`csv`], [`json`], [`expand`] — output formatters for
+//!   aggregation results, mirroring `cali-query`'s formatters.
+//!
+//! ```
+//! use caliper_format::{cali, Dataset};
+//! use caliper_data::{Properties, SnapshotRecord, Value, ValueType, NODE_NONE};
+//!
+//! let mut ds = Dataset::new();
+//! let func = ds.attribute("function", ValueType::Str, Properties::NESTED);
+//! let node = ds.tree.get_child(NODE_NONE, func.id(), &Value::str("main"));
+//! let mut rec = SnapshotRecord::new();
+//! rec.push_node(node);
+//! ds.push(rec);
+//!
+//! let bytes = cali::to_bytes(&ds);
+//! let back = cali::from_bytes(&bytes).unwrap();
+//! assert_eq!(back.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod cali;
+pub mod csv;
+pub mod dataset;
+pub mod escape;
+pub mod expand;
+pub mod flamegraph;
+pub mod json;
+pub mod table;
+
+pub use cali::{CaliError, CaliReader, CaliWriter};
+pub use dataset::Dataset;
+pub use table::Table;

@@ -1,0 +1,157 @@
+//! Failure-injection tests for the `.cali` reader: corrupted, truncated
+//! and adversarial streams must produce errors (or skip cleanly), never
+//! panics or silently wrong data.
+
+use caliper_data::{Properties, SnapshotRecord, Value, ValueType, NODE_NONE};
+use caliper_format::{cali, CaliReader, Dataset};
+
+fn sample_bytes() -> Vec<u8> {
+    let mut ds = Dataset::new();
+    let func = ds.attribute("function", ValueType::Str, Properties::NESTED);
+    let dur = ds.attribute(
+        "time.duration",
+        ValueType::Float,
+        Properties::AS_VALUE | Properties::AGGREGATABLE,
+    );
+    let main = ds.tree.get_child(NODE_NONE, func.id(), &Value::str("main"));
+    let foo = ds.tree.get_child(main, func.id(), &Value::str("foo"));
+    for i in 0..10 {
+        let mut rec = SnapshotRecord::new();
+        rec.push_node(if i % 2 == 0 { foo } else { main });
+        rec.push_imm(dur.id(), Value::Float(i as f64));
+        ds.push(rec);
+    }
+    cali::to_bytes(&ds)
+}
+
+#[test]
+fn truncating_at_any_line_boundary_yields_a_prefix() {
+    let bytes = sample_bytes();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    for cut in 0..=lines.len() {
+        let prefix = lines[..cut].join("\n");
+        let ds = cali::from_bytes(prefix.as_bytes())
+            .unwrap_or_else(|e| panic!("prefix of {cut} lines failed: {e}"));
+        assert!(ds.len() <= 10);
+    }
+}
+
+#[test]
+fn corrupting_single_bytes_never_panics() {
+    let bytes = sample_bytes();
+    // Flip one byte at a time across the stream; the reader must either
+    // parse (the corruption hit a value) or report an error.
+    for pos in (0..bytes.len()).step_by(7) {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] = corrupted[pos].wrapping_add(13) % 127 + 1; // keep it UTF-8-ish
+        let _ = cali::from_bytes(&corrupted); // must not panic
+    }
+}
+
+#[test]
+fn references_to_undeclared_ids_are_errors() {
+    for line in [
+        "__rec=node,id=0,attr=99,data=x",
+        "__rec=ctx,ref=42",
+        "__rec=ctx,attr=7,data=1",
+        "__rec=node,id=1,attr=0,parent=77,data=x",
+    ] {
+        let input = format!("__rec=attr,id=0,name=a,type=string,prop=default\n{line}\n");
+        let err = cali::from_bytes(input.as_bytes()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 2"), "{line}: {text}");
+    }
+}
+
+#[test]
+fn type_mismatched_data_is_an_error() {
+    let input = "__rec=attr,id=0,name=n,type=int,prop=default\n__rec=ctx,attr=0,data=not-a-number\n";
+    let err = cali::from_bytes(input.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("cannot parse"), "{err}");
+}
+
+#[test]
+fn data_without_preceding_attr_is_an_error() {
+    let input = "__rec=ctx,data=orphan\n";
+    let err = cali::from_bytes(input.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("without preceding attr"), "{err}");
+}
+
+#[test]
+fn duplicate_attribute_with_conflicting_type_is_an_error() {
+    let input = "__rec=attr,id=0,name=x,type=int,prop=default\n\
+                 __rec=attr,id=1,name=x,type=string,prop=default\n";
+    let err = cali::from_bytes(input.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("already exists"), "{err}");
+}
+
+#[test]
+fn unknown_record_kinds_and_fields() {
+    // Unknown kind: error. Unknown *fields* inside a known kind: ignored
+    // (forward compatibility).
+    assert!(cali::from_bytes(b"__rec=mystery,x=1\n").is_err());
+    let input = "__rec=attr,id=0,name=a,type=string,prop=default,futurefield=zap\n\
+                 __rec=ctx,attr=0,data=v,alsofuture=1\n";
+    let ds = cali::from_bytes(input.as_bytes()).unwrap();
+    assert_eq!(ds.len(), 1);
+}
+
+#[test]
+fn blank_lines_and_comments_are_skipped() {
+    let bytes = sample_bytes();
+    let text = String::from_utf8(bytes).unwrap();
+    let noisy: String = text
+        .lines()
+        .flat_map(|l| ["# comment", "", l])
+        .collect::<Vec<_>>()
+        .join("\n");
+    let ds = cali::from_bytes(noisy.as_bytes()).unwrap();
+    assert_eq!(ds.len(), 10);
+}
+
+#[test]
+fn reader_survives_partial_use_after_error() {
+    let mut reader = CaliReader::new();
+    reader
+        .read_line("__rec=attr,id=0,name=a,type=int,prop=default")
+        .unwrap();
+    assert!(reader.read_line("__rec=node,id=0,attr=5,data=1").is_err());
+    // Continuing after an error still works for valid lines.
+    reader.read_line("__rec=ctx,attr=0,data=7").unwrap();
+    let ds = reader.finish();
+    assert_eq!(ds.len(), 1);
+}
+
+#[test]
+fn giant_values_roundtrip() {
+    let mut ds = Dataset::new();
+    let attr = ds.attribute("blob", ValueType::Str, Properties::AS_VALUE);
+    let big = "x".repeat(1 << 20); // 1 MiB value
+    let mut rec = SnapshotRecord::new();
+    rec.push_imm(attr.id(), Value::str(big.as_str()));
+    ds.push(rec);
+    let back = cali::from_bytes(&cali::to_bytes(&ds)).unwrap();
+    let attr2 = back.store.find("blob").unwrap();
+    let flat: Vec<_> = back.flat_records().collect();
+    assert_eq!(flat[0].get(attr2.id()).unwrap().to_string().len(), 1 << 20);
+}
+
+#[test]
+fn deep_nesting_roundtrips() {
+    let mut ds = Dataset::new();
+    let func = ds.attribute("function", ValueType::Str, Properties::NESTED);
+    let mut node = NODE_NONE;
+    for i in 0..10_000 {
+        node = ds
+            .tree
+            .get_child(node, func.id(), &Value::str(format!("f{i}")));
+    }
+    let mut rec = SnapshotRecord::new();
+    rec.push_node(node);
+    ds.push(rec);
+    let back = cali::from_bytes(&cali::to_bytes(&ds)).unwrap();
+    let func2 = back.store.find("function").unwrap();
+    let flat: Vec<_> = back.flat_records().collect();
+    assert_eq!(flat[0].all(func2.id()).count(), 10_000);
+}

@@ -1,0 +1,120 @@
+//! Property-based tests: the `.cali` codec must roundtrip arbitrary
+//! datasets, and the escaping layer must roundtrip arbitrary strings.
+
+use caliper_data::{Properties, SnapshotRecord, Value, ValueType, NODE_NONE};
+use caliper_format::{cali, escape, Dataset};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9._]{0,15}"
+}
+
+/// Values whose textual form roundtrips exactly (no NaN).
+fn arb_roundtrip_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[ -~]{0,32}".prop_map(Value::str), // printable ASCII incl. , = \
+        any::<i64>().prop_map(Value::Int),
+        any::<u64>().prop_map(Value::UInt),
+        any::<i32>().prop_map(|i| Value::Float(i as f64 / 8.0)),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn escape_roundtrips(s in "\\PC*") {
+        prop_assert_eq!(escape::unescape(&escape::escape(&s)), s);
+    }
+
+    #[test]
+    fn escaped_strings_are_single_line(s in "\\PC*") {
+        prop_assert!(!escape::escape(&s).contains('\n'));
+    }
+
+    /// Build a random dataset (random nesting stacks + immediates),
+    /// serialize, parse, and compare the expanded record streams.
+    #[test]
+    fn cali_roundtrip(
+        labels in prop::collection::vec(arb_label(), 2..5),
+        records in prop::collection::vec(
+            (
+                prop::collection::vec((0usize..4, "[ -~]{0,16}"), 0..5), // stack pushes
+                prop::collection::vec((0usize..4, arb_roundtrip_value()), 0..4), // immediates
+            ),
+            0..20,
+        ),
+    ) {
+        let mut ds = Dataset::new();
+        let nested: Vec<_> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ds.attribute(&format!("n.{i}.{l}"), ValueType::Str, Properties::NESTED))
+            .collect();
+        let imm: Vec<_> = [
+            ValueType::Str,
+            ValueType::Int,
+            ValueType::UInt,
+            ValueType::Float,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ds.attribute(&format!("imm.{i}"), *t, Properties::AS_VALUE))
+        .collect();
+
+        for (stack, imms) in &records {
+            let mut node = NODE_NONE;
+            for (ai, v) in stack {
+                let attr = &nested[ai % nested.len()];
+                node = ds.tree.get_child(node, attr.id(), &Value::str(v.as_str()));
+            }
+            let mut rec = SnapshotRecord::new();
+            if node != NODE_NONE {
+                rec.push_node(node);
+            }
+            for (ai, v) in imms {
+                // Coerce the value to the immediate attribute's type so
+                // the stream stays type-faithful.
+                let attr = &imm[ai % imm.len()];
+                let coerced = match attr.value_type() {
+                    ValueType::Str => Value::str(v.to_string()),
+                    ValueType::Int => Value::Int(v.to_i64().unwrap_or(0)),
+                    ValueType::UInt => Value::UInt(v.to_u64().unwrap_or(0)),
+                    ValueType::Float => Value::Float(v.to_f64().unwrap_or(0.0)),
+                    ValueType::Bool => Value::Bool(v.is_truthy()),
+                };
+                rec.push_imm(attr.id(), coerced);
+            }
+            ds.push(rec);
+        }
+
+        let bytes = cali::to_bytes(&ds);
+        let ds2 = cali::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(ds2.len(), ds.len());
+
+        let orig: Vec<String> = ds.flat_records().map(|r| r.describe(&ds.store)).collect();
+        let back: Vec<String> = ds2.flat_records().map(|r| r.describe(&ds2.store)).collect();
+        prop_assert_eq!(&orig, &back);
+
+        // The binary codec must roundtrip the same stream.
+        let bin = caliper_format::binary::to_binary(&ds);
+        let ds3 = caliper_format::binary::from_binary(&bin).unwrap();
+        prop_assert_eq!(ds3.len(), ds.len());
+        let back_bin: Vec<String> = ds3
+            .flat_records()
+            .map(|r| r.describe(&ds3.store))
+            .collect();
+        prop_assert_eq!(&orig, &back_bin);
+    }
+
+    /// CSV quoting roundtrips under a trivial CSV parser for quoted fields.
+    #[test]
+    fn csv_field_is_parseable(s in "[ -~]{0,32}") {
+        let quoted = caliper_format::csv::csv_field(&s);
+        let parsed = if let Some(inner) = quoted.strip_prefix('"').and_then(|q| q.strip_suffix('"')) {
+            inner.replace("\"\"", "\"")
+        } else {
+            quoted.clone()
+        };
+        prop_assert_eq!(parsed, s);
+    }
+}

@@ -1,0 +1,258 @@
+//! Collective operations built on point-to-point messages.
+//!
+//! The centerpiece is [`reduce_tree`], the binomial-tree reduction the
+//! paper's parallel query application uses (§IV-C): "'leaf' processes
+//! send the local aggregation results to their parent, where the
+//! partial results are aggregated again. The scheme continues on the
+//! next level of the tree until we reach the root process." The timed
+//! variant [`reduce_tree_timed`] additionally reports the wall-clock
+//! time each rank spent per tree level, which the Figure 4 harness
+//! reduces to critical-path times.
+
+use std::time::Instant;
+
+use crate::comm::{Comm, CommError, Tag};
+
+const TAG_BASE: Tag = 0xC0DE;
+
+/// Binomial-tree reduction toward rank 0. Every rank passes its `value`;
+/// rank 0 returns `Some(combined)`, all other ranks `None`.
+///
+/// `merge(accumulator, incoming)` must be associative for the result to
+/// be independent of the world size — the property the property-based
+/// tests of `caliper-query` establish for aggregation databases.
+pub fn reduce_tree<T, F>(comm: &mut Comm, value: T, mut merge: F) -> Result<Option<T>, CommError>
+where
+    T: Send + 'static,
+    F: FnMut(T, T) -> T,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut acc = value;
+    let mut step = 1usize;
+    while step < size {
+        if rank % (2 * step) == 0 {
+            let partner = rank + step;
+            if partner < size {
+                let incoming: T = comm.recv(partner, TAG_BASE)?;
+                acc = merge(acc, incoming);
+            }
+        } else {
+            let parent = rank - step;
+            comm.send(parent, TAG_BASE, acc)?;
+            return Ok(None);
+        }
+        step *= 2;
+    }
+    Ok(Some(acc))
+}
+
+/// Like [`reduce_tree`], but also returns the time this rank spent in
+/// each tree level (seconds), including levels where it only forwarded.
+pub fn reduce_tree_timed<T, F>(
+    comm: &mut Comm,
+    value: T,
+    mut merge: F,
+) -> Result<(Option<T>, Vec<f64>), CommError>
+where
+    T: Send + 'static,
+    F: FnMut(T, T) -> T,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut acc = Some(value);
+    let mut times = Vec::new();
+    let mut step = 1usize;
+    while step < size {
+        let start = Instant::now();
+        if rank % (2 * step) == 0 {
+            let partner = rank + step;
+            if partner < size {
+                let incoming: T = comm.recv(partner, TAG_BASE)?;
+                let mine = acc.take().expect("non-leaf rank still holds a value");
+                acc = Some(merge(mine, incoming));
+            }
+            times.push(start.elapsed().as_secs_f64());
+        } else {
+            let parent = rank - step;
+            let mine = acc.take().expect("leaf rank sends once");
+            comm.send(parent, TAG_BASE, mine)?;
+            times.push(start.elapsed().as_secs_f64());
+            return Ok((None, times));
+        }
+        step *= 2;
+    }
+    Ok((acc, times))
+}
+
+/// Binomial-tree broadcast from rank 0.
+pub fn broadcast<T>(comm: &mut Comm, value: Option<T>) -> Result<T, CommError>
+where
+    T: Clone + Send + 'static,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    // Highest power of two <= size.
+    let mut top = 1usize;
+    while top * 2 <= size.max(1) {
+        top *= 2;
+    }
+    let mut acc = if rank == 0 {
+        Some(value.expect("root must provide the broadcast value"))
+    } else {
+        None
+    };
+    let mut step = top;
+    while step >= 1 {
+        if rank % (2 * step) == 0 {
+            if let Some(v) = &acc {
+                let partner = rank + step;
+                if partner < size {
+                    comm.send(partner, TAG_BASE + 1, v.clone())?;
+                }
+            }
+        } else if rank % (2 * step) == step && acc.is_none() {
+            let parent = rank - step;
+            acc = Some(comm.recv(parent, TAG_BASE + 1)?);
+        }
+        if step == 1 {
+            break;
+        }
+        step /= 2;
+    }
+    Ok(acc.expect("every rank receives the broadcast"))
+}
+
+/// Gather every rank's value at rank 0 (rank order preserved); others
+/// get `None`.
+pub fn gather<T>(comm: &mut Comm, value: T) -> Result<Option<Vec<T>>, CommError>
+where
+    T: Send + 'static,
+{
+    if comm.rank() == 0 {
+        let size = comm.size();
+        let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        out[0] = Some(value);
+        for _ in 1..size {
+            let (src, v) = comm.recv_any::<T>(TAG_BASE + 2)?;
+            out[src] = Some(v);
+        }
+        Ok(Some(
+            out.into_iter()
+                .map(|v| v.expect("every rank contributes"))
+                .collect(),
+        ))
+    } else {
+        comm.send(0, TAG_BASE + 2, value)?;
+        Ok(None)
+    }
+}
+
+/// Reduce-then-broadcast: every rank receives the combined value.
+pub fn allreduce<T, F>(comm: &mut Comm, value: T, merge: F) -> Result<T, CommError>
+where
+    T: Clone + Send + 'static,
+    F: FnMut(T, T) -> T,
+{
+    let reduced = reduce_tree(comm, value, merge)?;
+    broadcast(comm, reduced)
+}
+
+/// Synchronize all ranks (an allreduce over unit).
+pub fn barrier(comm: &mut Comm) -> Result<(), CommError> {
+    allreduce(comm, (), |(), ()| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run;
+
+    #[test]
+    fn reduce_tree_sums() {
+        for size in [1, 2, 3, 4, 5, 8, 13, 16] {
+            let results = run(size, |mut comm| {
+                let local = comm.rank() as u64;
+                reduce_tree(&mut comm, local, |a, b| a + b).unwrap()
+            });
+            let expect: u64 = (0..size as u64).sum();
+            assert_eq!(results[0], Some(expect), "size {size}");
+            assert!(results[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn reduce_tree_timed_levels() {
+        let results = run(8, |mut comm| {
+            reduce_tree_timed(&mut comm, 1u64, |a, b| a + b).unwrap()
+        });
+        assert_eq!(results[0].0, Some(8));
+        // Root participates in all log2(8) = 3 levels.
+        assert_eq!(results[0].1.len(), 3);
+        // Rank 1 leaves after level 0.
+        assert_eq!(results[1].1.len(), 1);
+        // Rank 2 participates in level 0 (recv from 3) and leaves at level 1.
+        assert_eq!(results[2].1.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        for size in [1, 2, 3, 5, 8, 11] {
+            let results = run(size, |mut comm| {
+                let value = if comm.rank() == 0 {
+                    Some("payload".to_string())
+                } else {
+                    None
+                };
+                broadcast(&mut comm, value).unwrap()
+            });
+            assert!(results.iter().all(|r| r == "payload"), "size {size}");
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let results = run(6, |mut comm| {
+            let local = comm.rank() * 10;
+            gather(&mut comm, local).unwrap()
+        });
+        assert_eq!(results[0], Some(vec![0, 10, 20, 30, 40, 50]));
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn allreduce_gives_same_answer_everywhere() {
+        for size in [1, 2, 3, 4, 7, 8] {
+            let results = run(size, |mut comm| {
+                let local = comm.rank() as u64 + 1;
+                allreduce(&mut comm, local, |a, b| a.max(b)).unwrap()
+            });
+            assert!(
+                results.iter().all(|&r| r == size as u64),
+                "size {size}: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        // All ranks must reach the barrier for any to pass.
+        let results = run(5, |mut comm| {
+            barrier(&mut comm).unwrap();
+            true
+        });
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_for_noncommutative_merge() {
+        // Tree reduction applies merge in a fixed structure; with an
+        // associative (but non-commutative) merge the result must be
+        // the in-order concatenation.
+        let results = run(8, |mut comm| {
+            let local = comm.rank().to_string();
+            reduce_tree(&mut comm, local, |a, b| a + &b).unwrap()
+        });
+        assert_eq!(results[0].as_deref(), Some("01234567"));
+    }
+}

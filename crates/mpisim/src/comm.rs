@@ -1,0 +1,141 @@
+//! Point-to-point communication between simulated ranks.
+//!
+//! Each rank owns one inbox (an MPMC channel); `send` deposits a tagged,
+//! type-erased message into the destination's inbox, `recv` blocks until
+//! a message matching `(source, tag)` arrives, buffering mismatched
+//! messages — the standard MPI matching semantics, minus wildcards on
+//! tags (a wildcard source is supported via [`Comm::recv_any`]).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+/// Message tag (as in MPI).
+pub type Tag = u32;
+
+pub(crate) struct Packet {
+    pub src: usize,
+    pub tag: Tag,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Communication error: peer disconnected (rank panicked or exited).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "communication error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A rank's communicator handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    inboxes: Arc<Vec<Sender<Packet>>>,
+    inbox: Receiver<Packet>,
+    /// Messages received but not yet matched.
+    pending: Vec<Packet>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        inboxes: Arc<Vec<Sender<Packet>>>,
+        inbox: Receiver<Packet>,
+    ) -> Comm {
+        Comm {
+            rank,
+            size,
+            inboxes,
+            inbox,
+            pending: Vec::new(),
+        }
+    }
+
+    /// This rank's id, 0-based.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `value` to `dest` with `tag`. Non-blocking (buffered send).
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> Result<(), CommError> {
+        assert!(dest < self.size, "send to rank {dest} out of range");
+        self.inboxes[dest]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .map_err(|_| CommError {
+                message: format!("rank {dest} has shut down"),
+            })
+    }
+
+    fn take_pending(&mut self, src: Option<usize>, tag: Tag) -> Option<Packet> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|p| p.tag == tag && src.map(|s| s == p.src).unwrap_or(true))?;
+        Some(self.pending.remove(idx))
+    }
+
+    fn recv_packet(&mut self, src: Option<usize>, tag: Tag) -> Result<Packet, CommError> {
+        if let Some(p) = self.take_pending(src, tag) {
+            return Ok(p);
+        }
+        loop {
+            let packet = self.inbox.recv().map_err(|_| CommError {
+                message: "world has shut down".to_string(),
+            })?;
+            let matches = packet.tag == tag && src.map(|s| s == packet.src).unwrap_or(true);
+            if matches {
+                return Ok(packet);
+            }
+            self.pending.push(packet);
+        }
+    }
+
+    /// Blocking receive of a `T` from `src` with `tag`. Panics if the
+    /// matching message's payload has a different type — a type-level
+    /// protocol mismatch is a bug, not a runtime condition.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Result<T, CommError> {
+        let packet = self.recv_packet(Some(src), tag)?;
+        Ok(*packet
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch on recv(src={src}, tag={tag})")))
+    }
+
+    /// Blocking receive from any source; returns `(source, value)`.
+    pub fn recv_any<T: Send + 'static>(&mut self, tag: Tag) -> Result<(usize, T), CommError> {
+        let packet = self.recv_packet(None, tag)?;
+        let src = packet.src;
+        Ok((
+            src,
+            *packet
+                .payload
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("type mismatch on recv_any(tag={tag})")),
+        ))
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Comm(rank {} of {})", self.rank, self.size)
+    }
+}

@@ -1,0 +1,28 @@
+//! # mpisim — a simulated MPI substrate
+//!
+//! The paper evaluates cross-process aggregation with an MPI-based
+//! parallel query application on LLNL's Quartz cluster. This crate is
+//! the laptop-scale substitute (see DESIGN.md §3): ranks are OS threads,
+//! links are crossbeam channels, and the collectives — most importantly
+//! the binomial-tree reduction of §IV-C — are implemented verbatim on
+//! top of point-to-point messages.
+//!
+//! ```
+//! use mpisim::{run, reduce_tree};
+//!
+//! let results = run(8, |mut comm| {
+//!     let local = (comm.rank() + 1) as u64;
+//!     reduce_tree(&mut comm, local, |a, b| a + b).unwrap()
+//! });
+//! assert_eq!(results[0], Some(36)); // only the root holds the total
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+pub mod world;
+
+pub use collectives::{allreduce, barrier, broadcast, gather, reduce_tree, reduce_tree_timed};
+pub use comm::{Comm, CommError, Tag};
+pub use world::run;

@@ -1,0 +1,122 @@
+//! The world launcher: runs N ranks as OS threads.
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Packet};
+
+/// Run `body` on `size` simulated ranks, each on its own thread, and
+/// collect the per-rank return values in rank order.
+///
+/// Panics in any rank propagate (the world aborts with that panic), so
+/// test assertions inside ranks behave as expected.
+pub fn run<R, F>(size: usize, body: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    assert!(size > 0, "world size must be positive");
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded::<Packet>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let inboxes = Arc::new(senders);
+    let body = Arc::new(body);
+
+    let mut handles = Vec::with_capacity(size);
+    for (rank, inbox) in receivers.into_iter().enumerate() {
+        let inboxes = Arc::clone(&inboxes);
+        let body = Arc::clone(&body);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .spawn(move || {
+                    let comm = Comm::new(rank, size, inboxes, inbox);
+                    body(comm)
+                })
+                .expect("spawn rank thread"),
+        );
+    }
+    handles
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| match h.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(Box::new(format!(
+                "rank {rank} panicked: {:?}",
+                e.downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            ))),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let ids = run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let sums = run(4, |mut comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 0, comm.rank() as u64).unwrap();
+            let from_prev: u64 = comm.recv(prev, 0).unwrap();
+            from_prev + comm.rank() as u64
+        });
+        assert_eq!(sums, vec![3, 1, 3, 5]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                // Send tag 1 first, then tag 0.
+                comm.send(1, 1, "second".to_string()).unwrap();
+                comm.send(1, 0, "first".to_string()).unwrap();
+                Vec::new()
+            } else {
+                // Receive in the opposite order.
+                let a: String = comm.recv(0, 0).unwrap();
+                let b: String = comm.recv(0, 1).unwrap();
+                vec![a, b]
+            }
+        });
+        assert_eq!(results[1], vec!["first", "second"]);
+    }
+
+    #[test]
+    fn recv_any_matches_any_source() {
+        let totals = run(4, |mut comm| {
+            if comm.rank() == 0 {
+                let mut total = 0u64;
+                for _ in 1..comm.size() {
+                    let (_, v): (usize, u64) = comm.recv_any(7).unwrap();
+                    total += v;
+                }
+                total
+            } else {
+                comm.send(0, 7, comm.rank() as u64).unwrap();
+                0
+            }
+        });
+        assert_eq!(totals[0], 6);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run(1, |comm| comm.size());
+        assert_eq!(out, vec![1]);
+    }
+}

@@ -1,0 +1,680 @@
+//! The streaming aggregation engine (§IV-B, Figure 2).
+//!
+//! The aggregator receives flat records, extracts the *aggregation key*
+//! (the GROUP BY attributes), locates the matching aggregation entry in
+//! an in-memory hash database, and folds the *aggregation attributes*
+//! into the entry's reduction states. Input records are never stored —
+//! this is the streaming reduction that makes on-line profiling
+//! possible.
+//!
+//! The same engine serves all three aggregation applications from the
+//! paper: on-line event aggregation (driven by runtime snapshots),
+//! cross-process aggregation (entries merged up a reduction tree via
+//! [`Aggregator::merge`]), and analytical aggregation (driven by records
+//! read from `.cali` files).
+
+use std::sync::Arc;
+
+use caliper_data::{
+    Attribute, AttributeStore, FlatRecord, FxBuildHasher, Properties, Value, ValueType,
+};
+
+use crate::ast::{AggOp, OpKind, QuerySpec};
+use crate::ops::Reducer;
+
+/// Configuration of an aggregation: operators + key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationSpec {
+    /// The aggregation operations.
+    pub ops: Vec<AggOp>,
+    /// Key attribute labels (GROUP BY).
+    pub key: Vec<String>,
+    /// Label of the `count` result attribute. The off-line query engine
+    /// uses `"count"`; the on-line service uses `"aggregate.count"`
+    /// (§VI-B of the paper aggregates `sum(aggregate.count)` over
+    /// on-line results).
+    pub count_label: String,
+}
+
+impl AggregationSpec {
+    /// Build from a parsed query.
+    pub fn from_query(spec: &QuerySpec) -> AggregationSpec {
+        AggregationSpec {
+            ops: spec.ops.clone(),
+            key: spec.key.clone(),
+            count_label: "count".to_string(),
+        }
+    }
+
+    /// Build from op and key lists with the default count label.
+    pub fn new(ops: Vec<AggOp>, key: Vec<String>) -> AggregationSpec {
+        AggregationSpec {
+            ops,
+            key,
+            count_label: "count".to_string(),
+        }
+    }
+
+    /// Use a different count result label (on-line service).
+    pub fn with_count_label(mut self, label: &str) -> AggregationSpec {
+        self.count_label = label.to_string();
+        self
+    }
+}
+
+/// Lazily resolved attribute handle: labels may refer to attributes that
+/// do not exist yet when the aggregation starts (on-line, attributes
+/// appear as the program runs).
+#[derive(Debug, Clone, Default)]
+enum Slot {
+    #[default]
+    Unresolved,
+    Resolved(Attribute),
+}
+
+/// Aggregation key: one optional grouping value per key label, in spec
+/// order. `None` marks "attribute not present in the record" — the paper
+/// notes that results include separate entries for records where only
+/// some key attributes are set.
+type Key = Box<[Option<Value>]>;
+
+/// One aggregation database entry: the reduction states for one unique key.
+#[derive(Debug, Clone)]
+struct DbEntry {
+    reducers: Vec<Reducer>,
+}
+
+/// The streaming aggregator.
+pub struct Aggregator {
+    spec: AggregationSpec,
+    store: Arc<AttributeStore>,
+    key_slots: Vec<Slot>,
+    target_slots: Vec<Slot>,
+    db: std::collections::HashMap<Key, DbEntry, FxBuildHasher>,
+    records_processed: u64,
+}
+
+impl Aggregator {
+    /// Create an aggregator resolving labels against `store`.
+    pub fn new(spec: AggregationSpec, store: Arc<AttributeStore>) -> Aggregator {
+        let key_slots = vec![Slot::Unresolved; spec.key.len()];
+        let target_slots = vec![Slot::Unresolved; spec.ops.len()];
+        Aggregator {
+            spec,
+            store,
+            key_slots,
+            target_slots,
+            db: Default::default(),
+            records_processed: 0,
+        }
+    }
+
+    /// The aggregation spec.
+    pub fn spec(&self) -> &AggregationSpec {
+        &self.spec
+    }
+
+    /// Number of unique keys currently in the database (the number of
+    /// output records a flush would produce).
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True if no records have produced entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Total number of input records processed.
+    pub fn records_processed(&self) -> u64 {
+        self.records_processed
+    }
+
+    fn resolve(store: &AttributeStore, slot: &mut Slot, label: &str) -> Option<Attribute> {
+        match slot {
+            Slot::Resolved(attr) => Some(attr.clone()),
+            Slot::Unresolved => match store.find(label) {
+                Some(attr) => {
+                    *slot = Slot::Resolved(attr.clone());
+                    Some(attr)
+                }
+                None => None,
+            },
+        }
+    }
+
+    /// Process one input record (streaming update).
+    pub fn add(&mut self, record: &FlatRecord) {
+        self.records_processed += 1;
+        // Extract the aggregation key.
+        let mut key: Vec<Option<Value>> = Vec::with_capacity(self.spec.key.len());
+        for (i, label) in self.spec.key.iter().enumerate() {
+            let value = Self::resolve(&self.store, &mut self.key_slots[i], label)
+                .and_then(|attr| record.path_string(attr.id()));
+            key.push(value);
+        }
+        let key: Key = key.into_boxed_slice();
+
+        // Locate or create the aggregation entry.
+        let spec_ops = &self.spec.ops;
+        let entry = self.db.entry(key).or_insert_with(|| DbEntry {
+            reducers: spec_ops.iter().map(Reducer::new).collect(),
+        });
+
+        // Fold the aggregation attributes into the entry.
+        for (i, op) in self.spec.ops.iter().enumerate() {
+            match op.kind {
+                OpKind::Count => entry.reducers[i].update(&Value::UInt(1)),
+                _ => {
+                    let target = op.target.as_deref().unwrap_or_default();
+                    if let Some(attr) =
+                        Self::resolve(&self.store, &mut self.target_slots[i], target)
+                    {
+                        for value in record.all(attr.id()) {
+                            entry.reducers[i].update(value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge another aggregator's database into this one (cross-process
+    /// reduction). Both must have the same spec.
+    pub fn merge(&mut self, other: Aggregator) {
+        debug_assert_eq!(self.spec, other.spec, "merging mismatched aggregations");
+        self.records_processed += other.records_processed;
+        for (key, entry) in other.db {
+            match self.db.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (mine, theirs) in e.get_mut().reducers.iter_mut().zip(&entry.reducers) {
+                        mine.merge(theirs);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(entry);
+                }
+            }
+        }
+    }
+
+    /// Flush the database into result records, interning result
+    /// attributes in `out_store`. Results are sorted by key for
+    /// deterministic output.
+    ///
+    /// This realizes the paper's flush step: "iterating over all entries,
+    /// reconstructing the key attributes, and appending the reduction
+    /// results".
+    pub fn flush(&self, out_store: &AttributeStore) -> Vec<FlatRecord> {
+        // Resolve key attributes for output (they may exist only in the
+        // input store; intern them into out_store as strings-preserving).
+        let key_attrs: Vec<Option<Attribute>> = self
+            .spec
+            .key
+            .iter()
+            .map(|label| {
+                // Determine the output type: use the input attribute's
+                // type if known, else guess from the first value seen.
+                let vtype = self
+                    .store
+                    .find(label)
+                    .map(|a| a.value_type())
+                    .or_else(|| {
+                        self.db.iter().find_map(|(key, _)| {
+                            let idx = self.spec.key.iter().position(|l| l == label)?;
+                            key[idx].as_ref().map(|v| v.value_type())
+                        })
+                    });
+                vtype.map(|t| {
+                    out_store
+                        .create(label, t, Properties::DEFAULT)
+                        .unwrap_or_else(|_| out_store.find(label).expect("exists"))
+                })
+            })
+            .collect();
+
+        // Determine result types per op: join over all entries.
+        let mut result_types: Vec<Option<ValueType>> = vec![None; self.spec.ops.len()];
+        let denominators = self.percent_denominators();
+        for entry in self.db.values() {
+            for (i, red) in entry.reducers.iter().enumerate() {
+                if let Some(v) = red.finish(denominators[i]) {
+                    let t = v.value_type();
+                    result_types[i] = Some(match result_types[i] {
+                        None => t,
+                        Some(prev) if prev == t => t,
+                        // mixed numeric types widen to float; anything
+                        // else falls back to string
+                        Some(prev) if prev.is_numeric() && t.is_numeric() => ValueType::Float,
+                        Some(_) => ValueType::Str,
+                    });
+                }
+            }
+        }
+        let result_attrs: Vec<Option<Attribute>> = self
+            .spec
+            .ops
+            .iter()
+            .zip(&result_types)
+            .map(|(op, vtype)| {
+                vtype.map(|t| {
+                    let label = op.result_label(&self.spec.count_label);
+                    out_store
+                        .create(&label, t, Properties::AGGREGATABLE)
+                        .unwrap_or_else(|_| out_store.find(&label).expect("exists"))
+                })
+            })
+            .collect();
+
+        // Sort keys for deterministic output.
+        let mut keys: Vec<&Key> = self.db.keys().collect();
+        keys.sort_by(|a, b| {
+            for (va, vb) in a.iter().zip(b.iter()) {
+                let ord = match (va, vb) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(va), Some(vb)) => va.total_cmp(vb),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let entry = &self.db[key];
+            let mut rec = FlatRecord::new();
+            for (slot, attr) in key.iter().zip(&key_attrs) {
+                if let (Some(value), Some(attr)) = (slot, attr) {
+                    rec.push(attr.id(), value.clone());
+                }
+            }
+            for (i, red) in entry.reducers.iter().enumerate() {
+                if let (Some(value), Some(attr)) = (red.finish(denominators[i]), &result_attrs[i])
+                {
+                    // Widen to the attribute's joined type so the output
+                    // stream is type-consistent.
+                    let coerced = match (attr.value_type(), &value) {
+                        (ValueType::Float, v) if v.value_type() != ValueType::Float => {
+                            Value::Float(v.to_f64().unwrap_or(0.0))
+                        }
+                        (ValueType::Str, v) if v.value_type() != ValueType::Str => {
+                            Value::str(v.to_string())
+                        }
+                        _ => value,
+                    };
+                    rec.push(attr.id(), coerced);
+                }
+            }
+            out.push(rec);
+        }
+        out
+    }
+
+    /// Per-op denominators for `percent_total`: the sum of raw sums over
+    /// all entries.
+    fn percent_denominators(&self) -> Vec<f64> {
+        let mut denominators = vec![0.0; self.spec.ops.len()];
+        for (i, op) in self.spec.ops.iter().enumerate() {
+            if op.kind == OpKind::PercentTotal {
+                denominators[i] = self
+                    .db
+                    .values()
+                    .map(|e| e.reducers[i].raw_sum())
+                    .sum::<f64>();
+            }
+        }
+        denominators
+    }
+}
+
+impl std::fmt::Debug for Aggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Aggregator({} entries, {} records processed)",
+            self.db.len(),
+            self.records_processed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use caliper_data::RecordBuilder;
+
+    fn store_with_listing1() -> (Arc<AttributeStore>, Vec<FlatRecord>) {
+        // Reproduce the record stream of Listing 1 / §III-B: 4 loop
+        // iterations, foo called twice (10+30=40 time units over 3
+        // records in the paper's table: foo entries sum to 40 with
+        // count 3... we mirror the table: per iteration, foo count=3
+        // sum=40? The table shows: (none) count=1 sum=10, foo count=3
+        // sum=40, bar... Actually we just build a plausible stream:
+        // foo(1), foo(2), bar(1) per iteration plus one record without
+        // function.
+        let store = Arc::new(AttributeStore::new());
+        let mut records = Vec::new();
+        for iteration in 0..4i64 {
+            records.push(
+                RecordBuilder::new(&store)
+                    .with("loop.iteration", iteration)
+                    .with("time", 10i64)
+                    .build(),
+            );
+            for (func, time) in [("foo", 15i64), ("foo", 25), ("bar", 20)] {
+                records.push(
+                    RecordBuilder::new(&store)
+                        .with("function", func)
+                        .with("loop.iteration", iteration)
+                        .with("time", time)
+                        .build(),
+                );
+            }
+        }
+        (store, records)
+    }
+
+    fn run(query: &str, store: Arc<AttributeStore>, records: &[FlatRecord]) -> (Arc<AttributeStore>, Vec<FlatRecord>) {
+        let spec = parse_query(query).unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        for rec in records {
+            agg.add(rec);
+        }
+        let out_store = Arc::new(AttributeStore::new());
+        let out = agg.flush(&out_store);
+        (out_store, out)
+    }
+
+    #[test]
+    fn listing1_time_series_profile() {
+        let (store, records) = store_with_listing1();
+        let (out_store, out) = run(
+            "AGGREGATE count, sum(time) GROUP BY function, loop.iteration",
+            store,
+            &records,
+        );
+        // 4 iterations x (foo, bar, none) = 12 entries
+        assert_eq!(out.len(), 12);
+        let func = out_store.find("function").unwrap();
+        let count = out_store.find("count").unwrap();
+        let sum = out_store.find("sum#time").unwrap();
+        let foo_rows: Vec<_> = out
+            .iter()
+            .filter(|r| r.get(func.id()) == Some(&Value::str("foo")))
+            .collect();
+        assert_eq!(foo_rows.len(), 4);
+        for row in foo_rows {
+            assert_eq!(row.get(count.id()), Some(&Value::UInt(2)));
+            assert_eq!(row.get(sum.id()), Some(&Value::Int(40)));
+        }
+    }
+
+    #[test]
+    fn removing_key_attribute_collapses_entries() {
+        let (store, records) = store_with_listing1();
+        let (out_store, out) = run("AGGREGATE count, sum(time) GROUP BY function", store, &records);
+        // foo, bar, none
+        assert_eq!(out.len(), 3);
+        let func = out_store.find("function").unwrap();
+        let sum = out_store.find("sum#time").unwrap();
+        let foo = out
+            .iter()
+            .find(|r| r.get(func.id()) == Some(&Value::str("foo")))
+            .unwrap();
+        assert_eq!(foo.get(sum.id()), Some(&Value::Int(160)));
+        // The entry with no function key has no function attribute.
+        assert!(out.iter().any(|r| !r.contains(func.id())));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let (store, records) = store_with_listing1();
+        let spec = parse_query("AGGREGATE count, sum(time), min(time), max(time), avg(time) GROUP BY function").unwrap();
+        let aspec = AggregationSpec::from_query(&spec);
+
+        let mut single = Aggregator::new(aspec.clone(), Arc::clone(&store));
+        for r in &records {
+            single.add(r);
+        }
+
+        let mut left = Aggregator::new(aspec.clone(), Arc::clone(&store));
+        let mut right = Aggregator::new(aspec, Arc::clone(&store));
+        for (i, r) in records.iter().enumerate() {
+            if i % 2 == 0 {
+                left.add(r);
+            } else {
+                right.add(r);
+            }
+        }
+        left.merge(right);
+
+        let s1 = Arc::new(AttributeStore::new());
+        let s2 = Arc::new(AttributeStore::new());
+        let out1: Vec<_> = single.flush(&s1).iter().map(|r| r.describe(&s1)).collect();
+        let out2: Vec<_> = left.flush(&s2).iter().map(|r| r.describe(&s2)).collect();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn aggregation_over_preaggregated_counts() {
+        // §VI-B: offline sum(aggregate.count) over online count results.
+        let store = Arc::new(AttributeStore::new());
+        let records = vec![
+            RecordBuilder::new(&store)
+                .with("kernel", "calc-dt")
+                .with("aggregate.count", 100u64)
+                .build(),
+            RecordBuilder::new(&store)
+                .with("kernel", "calc-dt")
+                .with("aggregate.count", 50u64)
+                .build(),
+            RecordBuilder::new(&store)
+                .with("kernel", "pdv")
+                .with("aggregate.count", 7u64)
+                .build(),
+        ];
+        let (out_store, out) = run(
+            "AGGREGATE sum(aggregate.count) GROUP BY kernel",
+            store,
+            &records,
+        );
+        assert_eq!(out.len(), 2);
+        let sum = out_store.find("sum#aggregate.count").unwrap();
+        let kernel = out_store.find("kernel").unwrap();
+        let calc = out
+            .iter()
+            .find(|r| r.get(kernel.id()) == Some(&Value::str("calc-dt")))
+            .unwrap();
+        assert_eq!(calc.get(sum.id()), Some(&Value::UInt(150)));
+    }
+
+    #[test]
+    fn count_label_override() {
+        let store = Arc::new(AttributeStore::new());
+        let records = vec![RecordBuilder::new(&store).with("kernel", "a").build()];
+        let spec = parse_query("AGGREGATE count GROUP BY kernel").unwrap();
+        let aspec = AggregationSpec::from_query(&spec).with_count_label("aggregate.count");
+        let mut agg = Aggregator::new(aspec, store);
+        for r in &records {
+            agg.add(r);
+        }
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        assert!(out_store.find("aggregate.count").is_some());
+        assert!(out_store.find("count").is_none());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn nested_key_attributes_group_by_path() {
+        let store = Arc::new(AttributeStore::new());
+        let func = store.create_simple("function", ValueType::Str);
+        let mut r1 = FlatRecord::new();
+        r1.push(func.id(), Value::str("main"));
+        r1.push(func.id(), Value::str("foo"));
+        let mut r2 = FlatRecord::new();
+        r2.push(func.id(), Value::str("main"));
+        let spec = parse_query("AGGREGATE count GROUP BY function").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        agg.add(&r1);
+        agg.add(&r1);
+        agg.add(&r2);
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        assert_eq!(out.len(), 2);
+        let f = out_store.find("function").unwrap();
+        let c = out_store.find("count").unwrap();
+        let main_foo = out
+            .iter()
+            .find(|r| r.get(f.id()) == Some(&Value::str("main/foo")))
+            .unwrap();
+        assert_eq!(main_foo.get(c.id()), Some(&Value::UInt(2)));
+    }
+
+    #[test]
+    fn flush_is_sorted_and_deterministic() {
+        let store = Arc::new(AttributeStore::new());
+        let mut records = Vec::new();
+        for i in [5i64, 3, 9, 1, 3, 5] {
+            records.push(RecordBuilder::new(&store).with("i", i).build());
+        }
+        let (out_store, out) = run("AGGREGATE count GROUP BY i", store, &records);
+        let i_attr = out_store.find("i").unwrap();
+        let keys: Vec<i64> = out
+            .iter()
+            .map(|r| r.get(i_attr.id()).unwrap().to_i64().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn attributes_resolving_late_are_picked_up() {
+        // On-line scenario: the key attribute is created after the
+        // aggregator starts.
+        let store = Arc::new(AttributeStore::new());
+        let spec = parse_query("AGGREGATE count GROUP BY late.attr").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), Arc::clone(&store));
+        agg.add(&FlatRecord::new()); // before the attribute exists
+        let rec = RecordBuilder::new(&store).with("late.attr", "x").build();
+        agg.add(&rec);
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn group_by_only_dedups_keys() {
+        let store = Arc::new(AttributeStore::new());
+        let records = vec![
+            RecordBuilder::new(&store).with("k", "a").build(),
+            RecordBuilder::new(&store).with("k", "b").build(),
+            RecordBuilder::new(&store).with("k", "a").build(),
+        ];
+        let spec = AggregationSpec::new(Vec::new(), vec!["k".into()]);
+        let mut agg = Aggregator::new(spec, store);
+        for r in &records {
+            agg.add(r);
+        }
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        assert_eq!(out.len(), 2);
+        // No ops -> no result attributes beyond the key.
+        assert_eq!(out_store.len(), 1);
+    }
+
+    #[test]
+    fn empty_aggregator_flushes_empty() {
+        let store = Arc::new(AttributeStore::new());
+        let spec = parse_query("AGGREGATE count, sum(x) GROUP BY k").unwrap();
+        let agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        let out_store = AttributeStore::new();
+        assert!(agg.flush(&out_store).is_empty());
+        assert!(agg.is_empty());
+        assert_eq!(agg.records_processed(), 0);
+    }
+
+    #[test]
+    fn mixed_numeric_groups_widen_to_float() {
+        // Group "a" sums to an Int, group "b" (via an untyped record
+        // carrying a float) to a Float: the shared result attribute
+        // widens to Float and both groups coerce consistently.
+        let store = Arc::new(AttributeStore::new());
+        let x = store.create_simple("x", ValueType::Float);
+        let k = store.create_simple("k", ValueType::Str);
+        let mut int_rec = FlatRecord::new();
+        int_rec.push(k.id(), Value::str("a"));
+        int_rec.push(x.id(), Value::Int(2));
+        let mut float_rec = FlatRecord::new();
+        float_rec.push(k.id(), Value::str("b"));
+        float_rec.push(x.id(), Value::Float(1.5));
+
+        let spec = parse_query("AGGREGATE sum(x) GROUP BY k").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        agg.add(&int_rec);
+        agg.add(&float_rec);
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        let sum = out_store.find("sum#x").unwrap();
+        assert_eq!(sum.value_type(), ValueType::Float);
+        assert_eq!(out.len(), 2);
+        // The Int group's result is coerced to the widened type.
+        for rec in &out {
+            assert_eq!(
+                rec.get(sum.id()).unwrap().value_type(),
+                ValueType::Float
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_target_occurrences_all_count() {
+        // A record carrying the target attribute twice contributes both
+        // occurrences to sum (nested measurement attributes).
+        let store = Arc::new(AttributeStore::new());
+        let x = store.create_simple("x", ValueType::Int);
+        let mut rec = FlatRecord::new();
+        rec.push(x.id(), Value::Int(3));
+        rec.push(x.id(), Value::Int(4));
+        let spec = parse_query("AGGREGATE count, sum(x) GROUP BY nothing").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        agg.add(&rec);
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        assert_eq!(out.len(), 1);
+        let sum = out_store.find("sum#x").unwrap();
+        let count = out_store.find("count").unwrap();
+        assert_eq!(out[0].get(sum.id()), Some(&Value::Int(7)));
+        // but count counts records, not occurrences
+        assert_eq!(out[0].get(count.id()), Some(&Value::UInt(1)));
+    }
+
+    #[test]
+    fn percent_total_sums_to_100() {
+        let store = Arc::new(AttributeStore::new());
+        let mut records = Vec::new();
+        for (k, t) in [("a", 10.0), ("b", 30.0), ("c", 60.0)] {
+            records.push(
+                RecordBuilder::new(&store)
+                    .with("kernel", k)
+                    .with("time", t)
+                    .build(),
+            );
+        }
+        let (out_store, out) = run(
+            "AGGREGATE percent_total(time) GROUP BY kernel",
+            store,
+            &records,
+        );
+        let p = out_store.find("percent_total#time").unwrap();
+        let total: f64 = out
+            .iter()
+            .map(|r| r.get(p.id()).unwrap().to_f64().unwrap())
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+}

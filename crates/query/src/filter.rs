@@ -1,0 +1,186 @@
+//! WHERE-clause evaluation over flat records.
+
+use std::sync::Arc;
+
+use caliper_data::{Attribute, AttributeStore, FlatRecord};
+
+use crate::ast::{CmpOp, Filter};
+
+/// Compiled filter bound to an attribute store. Attribute lookups are
+/// cached; labels that do not resolve (yet) behave as "attribute absent".
+pub struct FilterSet {
+    filters: Vec<(Filter, std::cell::RefCell<Option<Attribute>>)>,
+    store: Arc<AttributeStore>,
+}
+
+impl FilterSet {
+    /// Compile a filter list against a store.
+    pub fn new(filters: Vec<Filter>, store: Arc<AttributeStore>) -> FilterSet {
+        FilterSet {
+            filters: filters
+                .into_iter()
+                .map(|f| (f, std::cell::RefCell::new(None)))
+                .collect(),
+            store,
+        }
+    }
+
+    /// True if there are no conditions (everything passes).
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    fn resolve(&self, cache: &std::cell::RefCell<Option<Attribute>>, label: &str) -> Option<Attribute> {
+        if let Some(attr) = cache.borrow().as_ref() {
+            return Some(attr.clone());
+        }
+        let attr = self.store.find(label)?;
+        *cache.borrow_mut() = Some(attr.clone());
+        Some(attr)
+    }
+
+    /// Evaluate all conditions (AND) against a record.
+    pub fn matches(&self, record: &FlatRecord) -> bool {
+        self.filters.iter().all(|(filter, cache)| match filter {
+            Filter::Exists(label) => match self.resolve(cache, label) {
+                Some(attr) => record.contains(attr.id()),
+                None => false,
+            },
+            Filter::NotExists(label) => match self.resolve(cache, label) {
+                Some(attr) => !record.contains(attr.id()),
+                None => true,
+            },
+            Filter::Cmp { attr, op, value } => match self.resolve(cache, attr) {
+                Some(attr) => {
+                    if !record.contains(attr.id()) {
+                        return false;
+                    }
+                    match op {
+                        // != : no occurrence equals the literal
+                        CmpOp::Ne => record.all(attr.id()).all(|v| v != value),
+                        // others: any occurrence satisfies
+                        op => record.all(attr.id()).any(|v| op.eval(v, value)),
+                    }
+                }
+                None => false,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::{RecordBuilder, Value};
+
+    fn store_and_records() -> (Arc<AttributeStore>, Vec<FlatRecord>) {
+        let store = Arc::new(AttributeStore::new());
+        let records = vec![
+            RecordBuilder::new(&store)
+                .with("kernel", "calc-dt")
+                .with("mpi.rank", 0i64)
+                .with("time.duration", 5.0)
+                .build(),
+            RecordBuilder::new(&store)
+                .with("mpi.function", "MPI_Barrier")
+                .with("mpi.rank", 1i64)
+                .with("time.duration", 50.0)
+                .build(),
+        ];
+        (store, records)
+    }
+
+    fn eval(filters: Vec<Filter>, store: &Arc<AttributeStore>, rec: &FlatRecord) -> bool {
+        FilterSet::new(filters, Arc::clone(store)).matches(rec)
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let (store, recs) = store_and_records();
+        // WHERE not(mpi.function) — the paper's exclusion of MPI records.
+        let f = vec![Filter::NotExists("mpi.function".into())];
+        assert!(eval(f.clone(), &store, &recs[0]));
+        assert!(!eval(f, &store, &recs[1]));
+
+        let f = vec![Filter::Exists("kernel".into())];
+        assert!(eval(f.clone(), &store, &recs[0]));
+        assert!(!eval(f, &store, &recs[1]));
+    }
+
+    #[test]
+    fn unresolved_labels() {
+        let (store, recs) = store_and_records();
+        assert!(!eval(vec![Filter::Exists("nope".into())], &store, &recs[0]));
+        assert!(eval(
+            vec![Filter::NotExists("nope".into())],
+            &store,
+            &recs[0]
+        ));
+        assert!(!eval(
+            vec![Filter::Cmp {
+                attr: "nope".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(0)
+            }],
+            &store,
+            &recs[0]
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        let (store, recs) = store_and_records();
+        let rank_eq_0 = vec![Filter::Cmp {
+            attr: "mpi.rank".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(0),
+        }];
+        assert!(eval(rank_eq_0.clone(), &store, &recs[0]));
+        assert!(!eval(rank_eq_0, &store, &recs[1]));
+
+        let slow = vec![Filter::Cmp {
+            attr: "time.duration".into(),
+            op: CmpOp::Gt,
+            value: Value::Float(10.0),
+        }];
+        assert!(!eval(slow.clone(), &store, &recs[0]));
+        assert!(eval(slow, &store, &recs[1]));
+    }
+
+    #[test]
+    fn conditions_are_anded() {
+        let (store, recs) = store_and_records();
+        let both = vec![
+            Filter::Exists("kernel".into()),
+            Filter::Cmp {
+                attr: "mpi.rank".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(0),
+            },
+        ];
+        assert!(eval(both.clone(), &store, &recs[0]));
+        assert!(!eval(both, &store, &recs[1]));
+    }
+
+    #[test]
+    fn ne_requires_no_occurrence_to_match() {
+        let store = Arc::new(AttributeStore::new());
+        let func = store.create_simple("function", caliper_data::ValueType::Str);
+        let mut rec = FlatRecord::new();
+        rec.push(func.id(), Value::str("main"));
+        rec.push(func.id(), Value::str("foo"));
+        let ne_main = vec![Filter::Cmp {
+            attr: "function".into(),
+            op: CmpOp::Ne,
+            value: Value::str("main"),
+        }];
+        // "main" occurs, so != main fails even though "foo" also occurs.
+        assert!(!eval(ne_main, &store, &rec));
+        let ne_bar = vec![Filter::Cmp {
+            attr: "function".into(),
+            op: CmpOp::Ne,
+            value: Value::str("bar"),
+        }];
+        assert!(eval(ne_bar, &store, &rec));
+    }
+}

@@ -1,0 +1,182 @@
+//! LET-clause evaluation: derived attributes computed per input record
+//! before filtering and aggregation — the "derive aggregation variables"
+//! capability the paper's related-work section credits to Cube's metric
+//! language, generalized here to arbitrary attributes.
+
+use std::sync::Arc;
+
+use caliper_data::{Attribute, AttributeStore, FlatRecord, Properties, Value, ValueType};
+
+use crate::ast::{LetDef, LetExpr};
+
+/// Compiled LET bindings bound to an attribute store.
+pub struct LetSet {
+    defs: Vec<(LetDef, Attribute)>,
+    store: Arc<AttributeStore>,
+}
+
+impl LetSet {
+    /// Compile LET definitions; output attributes are interned eagerly.
+    pub fn new(defs: Vec<LetDef>, store: Arc<AttributeStore>) -> LetSet {
+        let defs = defs
+            .into_iter()
+            .map(|def| {
+                let vtype = match &def.expr {
+                    LetExpr::Scale(..) | LetExpr::Ratio(..) | LetExpr::Truncate(..) => {
+                        ValueType::Float
+                    }
+                    LetExpr::First(..) => ValueType::Str,
+                };
+                let attr = store
+                    .create(&def.name, vtype, Properties::AS_VALUE)
+                    .unwrap_or_else(|_| store.find(&def.name).expect("exists"));
+                (def, attr)
+            })
+            .collect();
+        LetSet { defs, store }
+    }
+
+    /// True if there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Evaluate all bindings, appending derived values to the record.
+    /// Bindings whose inputs are absent produce no output.
+    pub fn apply(&self, record: &mut FlatRecord) {
+        for (def, out_attr) in &self.defs {
+            let value = self.eval(&def.expr, record);
+            if let Some(value) = value {
+                record.push(out_attr.id(), value);
+            }
+        }
+    }
+
+    fn lookup(&self, label: &str, record: &FlatRecord) -> Option<Value> {
+        let attr = self.store.find(label)?;
+        record.get(attr.id()).cloned()
+    }
+
+    fn eval(&self, expr: &LetExpr, record: &FlatRecord) -> Option<Value> {
+        match expr {
+            LetExpr::Scale(attr, factor) => {
+                let v = self.lookup(attr, record)?.to_f64()?;
+                Some(Value::Float(v * factor))
+            }
+            LetExpr::Ratio(a, b) => {
+                let num = self.lookup(a, record)?.to_f64()?;
+                let den = self.lookup(b, record)?.to_f64()?;
+                if den == 0.0 {
+                    None
+                } else {
+                    Some(Value::Float(num / den))
+                }
+            }
+            LetExpr::First(labels) => labels
+                .iter()
+                .find_map(|l| self.lookup(l, record))
+                .map(|v| Value::str(v.to_string())),
+            LetExpr::Truncate(attr, width) => {
+                let v = self.lookup(attr, record)?.to_f64()?;
+                Some(Value::Float((v / width).floor() * width))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::RecordBuilder;
+
+    fn letset(defs: Vec<LetDef>, store: &Arc<AttributeStore>) -> LetSet {
+        LetSet::new(defs, Arc::clone(store))
+    }
+
+    #[test]
+    fn scale_converts_units() {
+        let store = Arc::new(AttributeStore::new());
+        let mut rec = RecordBuilder::new(&store).with("time.duration", 2500.0).build();
+        let ls = letset(
+            vec![LetDef {
+                name: "time.ms".into(),
+                expr: LetExpr::Scale("time.duration".into(), 0.001),
+            }],
+            &store,
+        );
+        ls.apply(&mut rec);
+        let ms = store.find("time.ms").unwrap();
+        assert_eq!(rec.get(ms.id()), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn ratio_guards_division_by_zero() {
+        let store = Arc::new(AttributeStore::new());
+        let mut rec = RecordBuilder::new(&store)
+            .with("bytes", 100.0)
+            .with("time", 0.0)
+            .build();
+        let ls = letset(
+            vec![LetDef {
+                name: "bw".into(),
+                expr: LetExpr::Ratio("bytes".into(), "time".into()),
+            }],
+            &store,
+        );
+        ls.apply(&mut rec);
+        let bw = store.find("bw").unwrap();
+        assert_eq!(rec.get(bw.id()), None);
+    }
+
+    #[test]
+    fn first_picks_first_present() {
+        let store = Arc::new(AttributeStore::new());
+        // intern both candidate attributes
+        store.create_simple("annotation", ValueType::Str);
+        store.create_simple("function", ValueType::Str);
+        let mut rec = RecordBuilder::new(&store).with("function", "foo").build();
+        let ls = letset(
+            vec![LetDef {
+                name: "region".into(),
+                expr: LetExpr::First(vec!["annotation".into(), "function".into()]),
+            }],
+            &store,
+        );
+        ls.apply(&mut rec);
+        let region = store.find("region").unwrap();
+        assert_eq!(rec.get(region.id()), Some(&Value::str("foo")));
+    }
+
+    #[test]
+    fn truncate_bins_values() {
+        let store = Arc::new(AttributeStore::new());
+        let ls = letset(
+            vec![LetDef {
+                name: "iter.bin".into(),
+                expr: LetExpr::Truncate("iteration".into(), 10.0),
+            }],
+            &store,
+        );
+        for (input, expect) in [(0i64, 0.0), (9, 0.0), (10, 10.0), (27, 20.0)] {
+            let mut rec = RecordBuilder::new(&store).with("iteration", input).build();
+            ls.apply(&mut rec);
+            let bin = store.find("iter.bin").unwrap();
+            assert_eq!(rec.get(bin.id()), Some(&Value::Float(expect)), "input {input}");
+        }
+    }
+
+    #[test]
+    fn absent_inputs_produce_no_output() {
+        let store = Arc::new(AttributeStore::new());
+        let ls = letset(
+            vec![LetDef {
+                name: "y".into(),
+                expr: LetExpr::Scale("missing".into(), 2.0),
+            }],
+            &store,
+        );
+        let mut rec = FlatRecord::new();
+        ls.apply(&mut rec);
+        assert!(rec.is_empty());
+    }
+}

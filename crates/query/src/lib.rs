@@ -1,0 +1,49 @@
+//! # caliper-query — the aggregation description language and engine
+//!
+//! This crate implements the core contribution of *"Flexible Data
+//! Aggregation for Performance Profiling"* (CLUSTER 2017): an abstract
+//! aggregation model over the flexible key:value data model, where users
+//! choose
+//!
+//! * **aggregation attributes** — what to aggregate,
+//! * an **aggregation key** — over what to aggregate (GROUP BY), and
+//! * **aggregation operators** — how to reduce (count/sum/min/max/…),
+//!
+//! expressed in a small SQL-like description language:
+//!
+//! ```
+//! use caliper_query::parse_query;
+//!
+//! let spec = parse_query(
+//!     "AGGREGATE count, sum(time.duration)
+//!      WHERE not(mpi.function)
+//!      GROUP BY amr.level, iteration#mainloop",
+//! ).unwrap();
+//! assert_eq!(spec.key.len(), 2);
+//! ```
+//!
+//! The same [`Aggregator`] engine serves all three aggregation
+//! applications from the paper: on-line event aggregation (the runtime's
+//! aggregate service feeds it snapshot records), cross-process
+//! aggregation (partial [`Pipeline`]s are merged up a reduction tree),
+//! and off-line analytical aggregation ([`run_query`] over a dataset).
+
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod display;
+pub mod ast;
+pub mod filter;
+pub mod lets;
+pub mod lexer;
+pub mod ops;
+pub mod parser;
+pub mod query;
+
+pub use aggregator::{AggregationSpec, Aggregator};
+pub use ast::{
+    AggOp, CmpOp, Filter, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir, SortKey,
+};
+pub use ops::Reducer;
+pub use parser::{parse_query, ParseError};
+pub use query::{run_query, Pipeline, QueryResult};

@@ -1,0 +1,670 @@
+//! Reduction operator implementations (§IV-B).
+//!
+//! Each operator is a small state machine with three operations:
+//! `update` folds one input value into the state (streaming reduction —
+//! the input is never stored), `merge` combines two states (used by
+//! cross-process tree reduction and by re-aggregation of pre-aggregated
+//! profiles), and `finish` produces the result value(s).
+
+use caliper_data::Value;
+
+use crate::ast::{AggOp, OpKind};
+
+/// Runtime state of one reduction operator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reducer {
+    /// `count`: number of input records.
+    Count(u64),
+    /// `sum`: type-preserving sum (Int+Int→Int, otherwise Float).
+    Sum(Option<Value>),
+    /// `min`: minimum under the data model's total order.
+    Min(Option<Value>),
+    /// `max`: maximum under the data model's total order.
+    Max(Option<Value>),
+    /// `avg`: arithmetic mean over numeric inputs.
+    Avg {
+        /// Sum of inputs.
+        sum: f64,
+        /// Number of inputs.
+        n: u64,
+    },
+    /// `histogram(lo, hi, nbins)`: fixed-width bin counts with
+    /// underflow/overflow bins.
+    Histogram {
+        /// Lower bound of the first bin.
+        lo: f64,
+        /// Bin width.
+        width: f64,
+        /// Bin counts.
+        bins: Vec<u64>,
+        /// Inputs below `lo`.
+        under: u64,
+        /// Inputs at or above `lo + nbins*width`.
+        over: u64,
+    },
+    /// `percent_total`: per-key sum; normalized to percent at flush time
+    /// by the aggregator (which knows the global total).
+    PercentTotal(f64),
+    /// `variance` / `stddev`: Welford accumulator (mergeable via the
+    /// parallel-variance formula).
+    Moments {
+        /// Number of inputs.
+        n: u64,
+        /// Running mean.
+        mean: f64,
+        /// Sum of squared deviations from the mean (M2).
+        m2: f64,
+        /// Whether to report the standard deviation instead of the
+        /// variance.
+        stddev: bool,
+    },
+    /// `percentile(attr, p)`: deterministic bounded reservoir. Exact
+    /// while fewer than the capacity of inputs have been seen; beyond
+    /// that, a deterministic systematic sample (every k-th input) is
+    /// kept, which preserves quantiles of stationary streams.
+    Percentile {
+        /// Requested percentile in (0, 100).
+        p: f64,
+        /// Retained sample.
+        sample: Vec<f64>,
+        /// Keep every `stride`-th input once the reservoir is full.
+        stride: u64,
+        /// Inputs seen so far.
+        seen: u64,
+    },
+}
+
+/// Reservoir capacity for the `percentile` operator.
+const PERCENTILE_CAPACITY: usize = 1024;
+
+/// Sort `v` and keep `target` evenly spaced elements (quantile-
+/// preserving subsample).
+fn subsample_sorted(v: &mut Vec<f64>, target: usize) {
+    if v.len() <= target || target == 0 {
+        return;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    let step = v.len() as f64 / target as f64;
+    let thinned: Vec<f64> = (0..target)
+        .map(|i| v[((i as f64 + 0.5) * step) as usize])
+        .collect();
+    *v = thinned;
+}
+
+impl Reducer {
+    /// Create the initial state for an operation.
+    pub fn new(op: &AggOp) -> Reducer {
+        match op.kind {
+            OpKind::Count => Reducer::Count(0),
+            OpKind::Sum => Reducer::Sum(None),
+            OpKind::Min => Reducer::Min(None),
+            OpKind::Max => Reducer::Max(None),
+            OpKind::Avg => Reducer::Avg { sum: 0.0, n: 0 },
+            OpKind::Histogram => {
+                let lo = op.args.first().and_then(Value::to_f64).unwrap_or(0.0);
+                let hi = op.args.get(1).and_then(Value::to_f64).unwrap_or(1.0);
+                let nbins = op
+                    .args
+                    .get(2)
+                    .and_then(Value::to_u64)
+                    .unwrap_or(10)
+                    .clamp(1, 4096) as usize;
+                let width = ((hi - lo) / nbins as f64).max(f64::MIN_POSITIVE);
+                Reducer::Histogram {
+                    lo,
+                    width,
+                    bins: vec![0; nbins],
+                    under: 0,
+                    over: 0,
+                }
+            }
+            OpKind::PercentTotal => Reducer::PercentTotal(0.0),
+            OpKind::Variance | OpKind::Stddev => Reducer::Moments {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+                stddev: op.kind == OpKind::Stddev,
+            },
+            OpKind::Percentile => Reducer::Percentile {
+                p: op
+                    .args
+                    .first()
+                    .and_then(Value::to_f64)
+                    .unwrap_or(50.0)
+                    .clamp(0.0, 100.0),
+                sample: Vec::new(),
+                stride: 1,
+                seen: 0,
+            },
+        }
+    }
+
+    /// Fold one record occurrence into the state. `Count` is updated once
+    /// per record by the aggregator (not per value); all others are
+    /// updated once per value occurrence of their target attribute.
+    pub fn update(&mut self, value: &Value) {
+        match self {
+            Reducer::Count(n) => *n += 1,
+            Reducer::Sum(acc) => {
+                *acc = match acc.take() {
+                    None => Some(value.clone()),
+                    Some(prev) => Some(
+                        prev.checked_add(value)
+                            // on overflow, saturate into float space
+                            .unwrap_or_else(|| {
+                                Value::Float(
+                                    prev.to_f64().unwrap_or(0.0) + value.to_f64().unwrap_or(0.0),
+                                )
+                            }),
+                    ),
+                };
+            }
+            Reducer::Min(acc) => {
+                let better = match acc {
+                    None => true,
+                    Some(prev) => value.total_cmp(prev).is_lt(),
+                };
+                if better {
+                    *acc = Some(value.clone());
+                }
+            }
+            Reducer::Max(acc) => {
+                let better = match acc {
+                    None => true,
+                    Some(prev) => value.total_cmp(prev).is_gt(),
+                };
+                if better {
+                    *acc = Some(value.clone());
+                }
+            }
+            Reducer::Avg { sum, n } => {
+                if let Some(v) = value.to_f64() {
+                    *sum += v;
+                    *n += 1;
+                }
+            }
+            Reducer::Histogram {
+                lo,
+                width,
+                bins,
+                under,
+                over,
+            } => {
+                if let Some(v) = value.to_f64() {
+                    if v < *lo {
+                        *under += 1;
+                    } else {
+                        let bin = ((v - *lo) / *width) as usize;
+                        if bin < bins.len() {
+                            bins[bin] += 1;
+                        } else {
+                            *over += 1;
+                        }
+                    }
+                }
+            }
+            Reducer::PercentTotal(sum) => {
+                if let Some(v) = value.to_f64() {
+                    *sum += v;
+                }
+            }
+            Reducer::Moments { n, mean, m2, .. } => {
+                if let Some(v) = value.to_f64() {
+                    *n += 1;
+                    let delta = v - *mean;
+                    *mean += delta / *n as f64;
+                    *m2 += delta * (v - *mean);
+                }
+            }
+            Reducer::Percentile {
+                sample,
+                stride,
+                seen,
+                ..
+            } => {
+                if let Some(v) = value.to_f64() {
+                    if *seen % *stride == 0 {
+                        if sample.len() == PERCENTILE_CAPACITY {
+                            // Thin deterministically: keep every other
+                            // retained sample and double the stride.
+                            let mut keep = 0;
+                            sample.retain(|_| {
+                                keep += 1;
+                                keep % 2 == 1
+                            });
+                            *stride *= 2;
+                        }
+                        sample.push(v);
+                    }
+                    *seen += 1;
+                }
+            }
+        }
+    }
+
+    /// Combine another state into this one. Both states must come from
+    /// the same [`AggOp`]; mismatched shapes panic in debug builds and
+    /// are ignored in release builds.
+    pub fn merge(&mut self, other: &Reducer) {
+        match (self, other) {
+            (Reducer::Count(a), Reducer::Count(b)) => *a += b,
+            (Reducer::Sum(a), Reducer::Sum(b)) => {
+                if let Some(bv) = b {
+                    match a.take() {
+                        None => *a = Some(bv.clone()),
+                        Some(av) => {
+                            *a = Some(av.checked_add(bv).unwrap_or_else(|| {
+                                Value::Float(
+                                    av.to_f64().unwrap_or(0.0) + bv.to_f64().unwrap_or(0.0),
+                                )
+                            }))
+                        }
+                    }
+                }
+            }
+            (Reducer::Min(a), Reducer::Min(b)) => {
+                if let Some(bv) = b {
+                    let better = match a {
+                        None => true,
+                        Some(av) => bv.total_cmp(av).is_lt(),
+                    };
+                    if better {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (Reducer::Max(a), Reducer::Max(b)) => {
+                if let Some(bv) = b {
+                    let better = match a {
+                        None => true,
+                        Some(av) => bv.total_cmp(av).is_gt(),
+                    };
+                    if better {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (
+                Reducer::Avg { sum: sa, n: na },
+                Reducer::Avg { sum: sb, n: nb },
+            ) => {
+                *sa += sb;
+                *na += nb;
+            }
+            (
+                Reducer::Histogram {
+                    bins: ba,
+                    under: ua,
+                    over: oa,
+                    ..
+                },
+                Reducer::Histogram {
+                    bins: bb,
+                    under: ub,
+                    over: ob,
+                    ..
+                },
+            ) if ba.len() == bb.len() => {
+                for (a, b) in ba.iter_mut().zip(bb) {
+                    *a += b;
+                }
+                *ua += ub;
+                *oa += ob;
+            }
+            (
+                Reducer::Moments {
+                    n: na,
+                    mean: ma,
+                    m2: m2a,
+                    ..
+                },
+                Reducer::Moments {
+                    n: nb,
+                    mean: mb,
+                    m2: m2b,
+                    ..
+                },
+            ) => {
+                // Chan et al. parallel variance combination.
+                let n = *na + *nb;
+                if *nb > 0 {
+                    if *na == 0 {
+                        *ma = *mb;
+                        *m2a = *m2b;
+                    } else {
+                        let delta = *mb - *ma;
+                        *m2a += *m2b + delta * delta * (*na as f64) * (*nb as f64) / n as f64;
+                        *ma += delta * (*nb as f64) / n as f64;
+                    }
+                    *na = n;
+                }
+            }
+            (
+                Reducer::Percentile {
+                    sample: sa,
+                    seen: seena,
+                    ..
+                },
+                Reducer::Percentile {
+                    sample: sb,
+                    seen: seenb,
+                    ..
+                },
+            ) => {
+                // Keep each side's representation proportional to how
+                // many inputs it has actually seen — a naive concat
+                // would over-weight the smaller stream.
+                let total = *seena + *seenb;
+                if sa.len() + sb.len() > PERCENTILE_CAPACITY && total > 0 {
+                    let quota_a = ((PERCENTILE_CAPACITY as u64 * *seena) / total) as usize;
+                    let quota_b = PERCENTILE_CAPACITY - quota_a.min(PERCENTILE_CAPACITY);
+                    let target_a = quota_a.max(1).min(sa.len());
+                    subsample_sorted(sa, target_a);
+                    let mut b_copy = sb.clone();
+                    let target_b = quota_b.max(1).min(b_copy.len());
+                    subsample_sorted(&mut b_copy, target_b);
+                    sa.extend_from_slice(&b_copy);
+                } else {
+                    sa.extend_from_slice(sb);
+                }
+                *seena = total;
+            }
+            (a, b) => {
+                debug_assert!(false, "merging mismatched reducers: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// Produce the result value. `Sum`/`Min`/`Max` with no inputs yield
+    /// `None` (no output attribute for that entry). `percent_total` needs
+    /// the global total, passed by the aggregator.
+    pub fn finish(&self, percent_total_denominator: f64) -> Option<Value> {
+        match self {
+            Reducer::Count(n) => Some(Value::UInt(*n)),
+            Reducer::Sum(acc) => acc.clone(),
+            Reducer::Min(acc) => acc.clone(),
+            Reducer::Max(acc) => acc.clone(),
+            Reducer::Avg { sum, n } => {
+                if *n == 0 {
+                    None
+                } else {
+                    Some(Value::Float(sum / *n as f64))
+                }
+            }
+            Reducer::Histogram {
+                bins, under, over, ..
+            } => {
+                // Render as "under|b0 b1 ... bn|over" — a compact,
+                // parseable string representation.
+                let body: Vec<String> = bins.iter().map(u64::to_string).collect();
+                Some(Value::str(format!(
+                    "{}|{}|{}",
+                    under,
+                    body.join(" "),
+                    over
+                )))
+            }
+            Reducer::PercentTotal(sum) => {
+                if percent_total_denominator > 0.0 {
+                    Some(Value::Float(100.0 * sum / percent_total_denominator))
+                } else {
+                    None
+                }
+            }
+            Reducer::Moments { n, m2, stddev, .. } => {
+                if *n == 0 {
+                    None
+                } else {
+                    let variance = m2 / *n as f64;
+                    Some(Value::Float(if *stddev {
+                        variance.sqrt()
+                    } else {
+                        variance
+                    }))
+                }
+            }
+            Reducer::Percentile { p, sample, .. } => {
+                if sample.is_empty() {
+                    return None;
+                }
+                let mut sorted = sample.clone();
+                sorted.sort_by(|a, b| a.total_cmp(b));
+                let idx = (p / 100.0) * (sorted.len() - 1) as f64;
+                let lo = idx.floor() as usize;
+                let hi = idx.ceil() as usize;
+                let frac = idx - lo as f64;
+                Some(Value::Float(sorted[lo] * (1.0 - frac) + sorted[hi] * frac))
+            }
+        }
+    }
+
+    /// The raw numeric accumulation (used to compute percent_total
+    /// denominators across entries).
+    pub fn raw_sum(&self) -> f64 {
+        match self {
+            Reducer::PercentTotal(s) => *s,
+            Reducer::Sum(Some(v)) => v.to_f64().unwrap_or(0.0),
+            Reducer::Avg { sum, .. } => *sum,
+            Reducer::Count(n) => *n as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: OpKind, target: Option<&str>) -> AggOp {
+        AggOp::new(kind, target)
+    }
+
+    #[test]
+    fn count_counts() {
+        let mut r = Reducer::new(&op(OpKind::Count, None));
+        for _ in 0..5 {
+            r.update(&Value::Int(0));
+        }
+        assert_eq!(r.finish(0.0), Some(Value::UInt(5)));
+    }
+
+    #[test]
+    fn sum_preserves_int_type() {
+        let mut r = Reducer::new(&op(OpKind::Sum, Some("x")));
+        r.update(&Value::Int(10));
+        r.update(&Value::Int(30));
+        assert_eq!(r.finish(0.0), Some(Value::Int(40)));
+    }
+
+    #[test]
+    fn sum_mixes_to_float() {
+        let mut r = Reducer::new(&op(OpKind::Sum, Some("x")));
+        r.update(&Value::Int(10));
+        r.update(&Value::Float(0.5));
+        assert_eq!(r.finish(0.0), Some(Value::Float(10.5)));
+    }
+
+    #[test]
+    fn sum_overflow_saturates_to_float() {
+        let mut r = Reducer::new(&op(OpKind::Sum, Some("x")));
+        r.update(&Value::Int(i64::MAX));
+        r.update(&Value::Int(i64::MAX));
+        match r.finish(0.0) {
+            Some(Value::Float(f)) => assert!(f > 1e18),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sum_min_max_yield_none() {
+        for kind in [OpKind::Sum, OpKind::Min, OpKind::Max, OpKind::Avg] {
+            let r = Reducer::new(&op(kind, Some("x")));
+            assert_eq!(r.finish(0.0), None);
+        }
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut lo = Reducer::new(&op(OpKind::Min, Some("x")));
+        let mut hi = Reducer::new(&op(OpKind::Max, Some("x")));
+        for v in [3.0, -1.5, 7.25, 0.0] {
+            lo.update(&Value::Float(v));
+            hi.update(&Value::Float(v));
+        }
+        assert_eq!(lo.finish(0.0), Some(Value::Float(-1.5)));
+        assert_eq!(hi.finish(0.0), Some(Value::Float(7.25)));
+    }
+
+    #[test]
+    fn avg_is_mean() {
+        let mut r = Reducer::new(&op(OpKind::Avg, Some("x")));
+        for v in [1, 2, 3, 4] {
+            r.update(&Value::Int(v));
+        }
+        assert_eq!(r.finish(0.0), Some(Value::Float(2.5)));
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut hop = op(OpKind::Histogram, Some("x"));
+        hop.args = vec![Value::Int(0), Value::Int(10), Value::Int(5)];
+        let mut r = Reducer::new(&hop);
+        for v in [-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 100.0] {
+            r.update(&Value::Float(v));
+        }
+        // bins of width 2: [0,2) -> 2, [2,4) -> 1, [8,10) -> 1
+        assert_eq!(r.finish(0.0), Some(Value::str("1|2 1 0 0 1|2")));
+    }
+
+    #[test]
+    fn merge_matches_sequential_updates() {
+        for kind in [OpKind::Count, OpKind::Sum, OpKind::Min, OpKind::Max, OpKind::Avg] {
+            let o = op(kind, Some("x"));
+            let mut all = Reducer::new(&o);
+            let mut left = Reducer::new(&o);
+            let mut right = Reducer::new(&o);
+            for i in 0..10 {
+                let v = Value::Int(i * 3 - 7);
+                all.update(&v);
+                if i % 2 == 0 {
+                    left.update(&v);
+                } else {
+                    right.update(&v);
+                }
+            }
+            left.merge(&right);
+            assert_eq!(left.finish(0.0), all.finish(0.0), "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn percent_total_uses_denominator() {
+        let mut r = Reducer::new(&op(OpKind::PercentTotal, Some("x")));
+        r.update(&Value::Float(25.0));
+        assert_eq!(r.finish(100.0), Some(Value::Float(25.0)));
+        assert_eq!(r.finish(0.0), None);
+        assert_eq!(r.raw_sum(), 25.0);
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let mut var = Reducer::new(&op(OpKind::Variance, Some("x")));
+        let mut sd = Reducer::new(&op(OpKind::Stddev, Some("x")));
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            var.update(&Value::Float(v));
+            sd.update(&Value::Float(v));
+        }
+        // Classic example: population variance 4, stddev 2.
+        match var.finish(0.0) {
+            Some(Value::Float(v)) => assert!((v - 4.0).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+        match sd.finish(0.0) {
+            Some(Value::Float(v)) => assert!((v - 2.0).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(Reducer::new(&op(OpKind::Variance, Some("x"))).finish(0.0), None);
+    }
+
+    #[test]
+    fn variance_merge_matches_single_pass() {
+        let o = op(OpKind::Variance, Some("x"));
+        let mut all = Reducer::new(&o);
+        let mut left = Reducer::new(&o);
+        let mut right = Reducer::new(&o);
+        for i in 0..100 {
+            let v = Value::Float((i * i % 37) as f64 - 11.0);
+            all.update(&v);
+            if i < 42 {
+                left.update(&v);
+            } else {
+                right.update(&v);
+            }
+        }
+        left.merge(&right);
+        let a = all.finish(0.0).unwrap().to_f64().unwrap();
+        let b = left.finish(0.0).unwrap().to_f64().unwrap();
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn percentile_exact_below_capacity() {
+        let mut pop = op(OpKind::Percentile, Some("x"));
+        pop.args = vec![Value::Int(90)];
+        let mut r = Reducer::new(&pop);
+        for i in 0..=100 {
+            r.update(&Value::Int(i));
+        }
+        match r.finish(0.0) {
+            Some(Value::Float(v)) => assert!((v - 90.0).abs() < 1e-9, "{v}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_bounded_above_capacity() {
+        let mut pop = op(OpKind::Percentile, Some("x"));
+        pop.args = vec![Value::Int(50)];
+        let mut r = Reducer::new(&pop);
+        for i in 0..100_000 {
+            r.update(&Value::Int(i % 1000));
+        }
+        if let Reducer::Percentile { sample, .. } = &r {
+            assert!(sample.len() <= super::PERCENTILE_CAPACITY + 1);
+        } else {
+            unreachable!();
+        }
+        // Median of a uniform 0..1000 stream ~ 500 (systematic sample).
+        let v = r.finish(0.0).unwrap().to_f64().unwrap();
+        assert!((v - 500.0).abs() < 60.0, "median estimate {v}");
+    }
+
+    #[test]
+    fn percentile_merge_stays_bounded() {
+        let mut pop = op(OpKind::Percentile, Some("x"));
+        pop.args = vec![Value::Int(50)];
+        let mut acc = Reducer::new(&pop);
+        for chunk in 0..8 {
+            let mut part = Reducer::new(&pop);
+            for i in 0..2000 {
+                part.update(&Value::Int(chunk * 2000 + i));
+            }
+            acc.merge(&part);
+        }
+        if let Reducer::Percentile { sample, .. } = &acc {
+            assert!(sample.len() <= 2 * super::PERCENTILE_CAPACITY);
+        } else {
+            unreachable!();
+        }
+        // Stream was 0..16000 uniform; median ~ 8000.
+        let v = acc.finish(0.0).unwrap().to_f64().unwrap();
+        assert!((v - 8000.0).abs() < 800.0, "median estimate {v}");
+    }
+
+    #[test]
+    fn non_numeric_values_ignored_by_numeric_ops() {
+        let mut r = Reducer::new(&op(OpKind::Avg, Some("x")));
+        r.update(&Value::str("not a number"));
+        assert_eq!(r.finish(0.0), None);
+    }
+}

@@ -1,0 +1,540 @@
+//! The query pipeline: LET → WHERE → AGGREGATE/GROUP BY → ORDER BY →
+//! SELECT → FORMAT.
+//!
+//! One [`Pipeline`] processes one record stream. For cross-process
+//! aggregation, one pipeline runs per input dataset and the partial
+//! results are combined with [`Pipeline::merge`] up a reduction tree
+//! (§IV-C); [`Pipeline::finish`] is then called once, at the root.
+
+use std::sync::Arc;
+
+use caliper_data::{
+    Attribute, AttributeStore, Entry, FlatRecord, Properties, SnapshotRecord, ValueType,
+};
+use caliper_format::dataset::Dataset;
+use caliper_format::{csv, expand, json, table};
+
+use crate::aggregator::{AggregationSpec, Aggregator};
+use crate::ast::{OutputFormat, QuerySpec, SortDir};
+use crate::filter::FilterSet;
+use crate::lets::LetSet;
+use crate::parser::{parse_query, ParseError};
+
+/// The result of a finished query: records plus presentation metadata.
+pub struct QueryResult {
+    /// Store the result records' attribute ids refer to.
+    pub store: Arc<AttributeStore>,
+    /// Result records (aggregation entries or filtered pass-through).
+    pub records: Vec<FlatRecord>,
+    /// Output columns in presentation order.
+    pub columns: Vec<Attribute>,
+    /// Requested output format.
+    pub format: OutputFormat,
+}
+
+impl QueryResult {
+    /// Render as an aligned text table regardless of the format clause.
+    pub fn to_table(&self) -> table::Table {
+        table::records_to_table(&self.columns, &self.records)
+    }
+
+    /// Render in the query's requested output format.
+    pub fn render(&self) -> String {
+        match self.format {
+            OutputFormat::Table => self.to_table().render(),
+            OutputFormat::Csv => csv::records_to_csv(&self.columns, &self.records),
+            OutputFormat::Json => json::records_to_json(&self.store, &self.records),
+            OutputFormat::Expand => expand::expand_records(&self.store, &self.records),
+            OutputFormat::Flamegraph => {
+                // Last selected column is the value; the preceding
+                // columns build the stack.
+                if self.columns.len() < 2 {
+                    return String::from(
+                        "# flamegraph output needs at least two columns (path..., value)\n",
+                    );
+                }
+                let (path, value) = self.columns.split_at(self.columns.len() - 1);
+                caliper_format::flamegraph::records_to_flamegraph(
+                    path,
+                    &value[0],
+                    &self.records,
+                )
+            }
+            OutputFormat::Cali => {
+                let mut ds = Dataset::with_context(
+                    Arc::clone(&self.store),
+                    Arc::new(caliper_data::ContextTree::new()),
+                );
+                for rec in &self.records {
+                    let entries = rec
+                        .pairs()
+                        .iter()
+                        .map(|(a, v)| Entry::Imm(*a, v.clone()))
+                        .collect();
+                    ds.push(SnapshotRecord::from_entries(entries));
+                }
+                String::from_utf8(caliper_format::cali::to_bytes(&ds))
+                    .expect("cali output is UTF-8")
+            }
+        }
+    }
+
+    /// Run another query over this result's records — interactive
+    /// drill-down, as in the paper's §VI workflow where each analysis
+    /// question is a new query over the previously aggregated profile.
+    ///
+    /// ```
+    /// # use caliper_data::{AttributeStore, RecordBuilder};
+    /// # use caliper_query::run_query;
+    /// # use caliper_format::Dataset;
+    /// # use std::sync::Arc;
+    /// # let mut ds = Dataset::new();
+    /// # let rec = RecordBuilder::new(&ds.store).with("kernel", "a").with("t", 1.5).build();
+    /// # let entries = rec.pairs().iter().map(|(a, v)| caliper_data::Entry::Imm(*a, v.clone())).collect();
+    /// # ds.push(caliper_data::SnapshotRecord::from_entries(entries));
+    /// let coarse = run_query(&ds, "AGGREGATE sum(t) GROUP BY kernel").unwrap();
+    /// let refined = coarse.requery("SELECT kernel WHERE sum#t > 1").unwrap();
+    /// assert_eq!(refined.records.len(), 1);
+    /// ```
+    pub fn requery(&self, text: &str) -> Result<QueryResult, ParseError> {
+        let mut pipeline = Pipeline::from_text(text, Arc::clone(&self.store))?;
+        for rec in &self.records {
+            pipeline.process(rec.clone());
+        }
+        Ok(pipeline.finish())
+    }
+
+    /// Look up the value of `label` in the first record matching a key
+    /// predicate — convenience for tests and harnesses.
+    pub fn lookup(
+        &self,
+        pred: impl Fn(&FlatRecord, &AttributeStore) -> bool,
+        label: &str,
+    ) -> Option<caliper_data::Value> {
+        let attr = self.store.find(label)?;
+        self.records
+            .iter()
+            .find(|r| pred(r, &self.store))
+            .and_then(|r| r.path_string(attr.id()))
+    }
+}
+
+impl std::fmt::Debug for QueryResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QueryResult({} records, {} columns)",
+            self.records.len(),
+            self.columns.len()
+        )
+    }
+}
+
+/// A streaming query pipeline over one record stream.
+pub struct Pipeline {
+    spec: QuerySpec,
+    lets: LetSet,
+    filters: FilterSet,
+    aggregator: Option<Aggregator>,
+    passthrough: Vec<FlatRecord>,
+    input_store: Arc<AttributeStore>,
+}
+
+impl Pipeline {
+    /// Create a pipeline for a parsed query over records whose attribute
+    /// ids refer to `store`.
+    pub fn new(spec: QuerySpec, store: Arc<AttributeStore>) -> Pipeline {
+        let lets = LetSet::new(spec.lets.clone(), Arc::clone(&store));
+        let filters = FilterSet::new(spec.filters.clone(), Arc::clone(&store));
+        let aggregator = if spec.is_aggregation() {
+            Some(Aggregator::new(
+                AggregationSpec::from_query(&spec),
+                Arc::clone(&store),
+            ))
+        } else {
+            None
+        };
+        Pipeline {
+            spec,
+            lets,
+            filters,
+            aggregator,
+            passthrough: Vec::new(),
+            input_store: store,
+        }
+    }
+
+    /// Parse `text` and create a pipeline.
+    pub fn from_text(text: &str, store: Arc<AttributeStore>) -> Result<Pipeline, ParseError> {
+        Ok(Pipeline::new(parse_query(text)?, store))
+    }
+
+    /// The parsed query spec.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Process one input record.
+    pub fn process(&mut self, mut record: FlatRecord) {
+        if !self.lets.is_empty() {
+            self.lets.apply(&mut record);
+        }
+        if !self.filters.is_empty() && !self.filters.matches(&record) {
+            return;
+        }
+        match &mut self.aggregator {
+            Some(agg) => agg.add(&record),
+            None => self.passthrough.push(record),
+        }
+    }
+
+    /// Process every record of a dataset.
+    pub fn process_dataset(&mut self, ds: &Dataset) {
+        for rec in ds.flat_records() {
+            self.process(rec);
+        }
+    }
+
+    /// Merge another pipeline's partial result into this one. Both
+    /// pipelines must run the same query; for aggregations this merges
+    /// the aggregation databases, for pass-through queries it
+    /// concatenates the record lists. The merged pipeline must share
+    /// this pipeline's input store (the cross-process driver reads all
+    /// inputs into one store).
+    pub fn merge(&mut self, other: Pipeline) {
+        match (&mut self.aggregator, other.aggregator) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, None) => self.passthrough.extend(other.passthrough),
+            _ => debug_assert!(false, "merging aggregation with pass-through pipeline"),
+        }
+    }
+
+    /// Number of result entries so far (aggregation database size or
+    /// pass-through record count).
+    pub fn len(&self) -> usize {
+        match &self.aggregator {
+            Some(agg) => agg.len(),
+            None => self.passthrough.len(),
+        }
+    }
+
+    /// True if no entries have accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish: flush the aggregation, apply ORDER BY and SELECT, and
+    /// return the result.
+    pub fn finish(self) -> QueryResult {
+        let (store, mut records) = match self.aggregator {
+            Some(agg) => {
+                let out_store = Arc::new(AttributeStore::new());
+                let records = agg.flush(&out_store);
+                (out_store, records)
+            }
+            None => (self.input_store, self.passthrough),
+        };
+
+        // ORDER BY
+        if !self.spec.order_by.is_empty() {
+            let keys: Vec<(Option<Attribute>, SortDir)> = self
+                .spec
+                .order_by
+                .iter()
+                .map(|k| (store.find(&k.attr), k.dir))
+                .collect();
+            records.sort_by(|a, b| {
+                for (attr, dir) in &keys {
+                    let ord = match attr {
+                        Some(attr) => {
+                            let va = a.path_string(attr.id());
+                            let vb = b.path_string(attr.id());
+                            match (va, vb) {
+                                (None, None) => std::cmp::Ordering::Equal,
+                                (None, Some(_)) => std::cmp::Ordering::Less,
+                                (Some(_), None) => std::cmp::Ordering::Greater,
+                                (Some(va), Some(vb)) => va.total_cmp(&vb),
+                            }
+                        }
+                        None => std::cmp::Ordering::Equal,
+                    };
+                    let ord = match dir {
+                        SortDir::Asc => ord,
+                        SortDir::Desc => ord.reverse(),
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        if let Some(limit) = self.spec.limit {
+            records.truncate(limit);
+        }
+
+        // Column selection.
+        let labels: Vec<String> = match (&self.spec.select, self.spec.is_aggregation()) {
+            (Some(cols), _) => cols.clone(),
+            (None, true) => self.spec.default_columns("count"),
+            (None, false) => {
+                // All attributes in order of first appearance.
+                let mut seen = Vec::new();
+                for rec in &records {
+                    for (attr, _) in rec.pairs() {
+                        if !seen.contains(attr) {
+                            seen.push(*attr);
+                        }
+                    }
+                }
+                seen.iter()
+                    .filter_map(|id| store.name_of(*id).map(|n| n.to_string()))
+                    .collect()
+            }
+        };
+        let columns: Vec<Attribute> = labels
+            .iter()
+            .map(|label| {
+                store.find(label).unwrap_or_else(|| {
+                    // Selected label never appeared: produce an empty
+                    // string column so the header is still present.
+                    store
+                        .create(label, ValueType::Str, Properties::DEFAULT)
+                        .unwrap_or_else(|_| store.find(label).expect("exists"))
+                })
+            })
+            .collect();
+
+        QueryResult {
+            store,
+            records,
+            columns,
+            format: self.spec.format,
+        }
+    }
+}
+
+/// Run a query text over one dataset: the core of the `cali-query` tool
+/// (off-line analytical aggregation, §IV-C).
+pub fn run_query(ds: &Dataset, text: &str) -> Result<QueryResult, ParseError> {
+    let mut pipeline = Pipeline::from_text(text, Arc::clone(&ds.store))?;
+    pipeline.process_dataset(ds);
+    Ok(pipeline.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::{RecordBuilder, Value};
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let store = Arc::clone(&ds.store);
+        for iteration in 0..4i64 {
+            for (func, time) in [("foo", 15i64), ("foo", 25), ("bar", 20)] {
+                let rec = RecordBuilder::new(&store)
+                    .with("function", func)
+                    .with("loop.iteration", iteration)
+                    .with("time", time)
+                    .build();
+                let entries = rec
+                    .pairs()
+                    .iter()
+                    .map(|(a, v)| Entry::Imm(*a, v.clone()))
+                    .collect();
+                ds.push(SnapshotRecord::from_entries(entries));
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn paper_table_shape() {
+        let ds = sample_dataset();
+        let result = run_query(&ds, "AGGREGATE count, sum(time) GROUP BY function, loop.iteration")
+            .unwrap();
+        // 2 functions x 4 iterations
+        assert_eq!(result.records.len(), 8);
+        let rendered = result.render();
+        let header = rendered.lines().next().unwrap();
+        assert!(header.contains("function"));
+        assert!(header.contains("loop.iteration"));
+        assert!(header.contains("count"));
+        assert!(header.contains("sum#time"));
+        // foo rows: count 2, sum 40
+        let foo = result.lookup(
+            |r, s| {
+                let f = s.find("function").unwrap();
+                let i = s.find("loop.iteration").unwrap();
+                r.get(f.id()) == Some(&Value::str("foo")) && r.get(i.id()) == Some(&Value::Int(0))
+            },
+            "sum#time",
+        );
+        assert_eq!(foo, Some(Value::Int(40)));
+    }
+
+    #[test]
+    fn where_filters_apply_before_aggregation() {
+        let ds = sample_dataset();
+        let result = run_query(
+            &ds,
+            "AGGREGATE sum(time) WHERE function=bar GROUP BY function",
+        )
+        .unwrap();
+        assert_eq!(result.records.len(), 1);
+        let sum = result.lookup(|_, _| true, "sum#time");
+        assert_eq!(sum, Some(Value::Int(80)));
+    }
+
+    #[test]
+    fn order_by_desc() {
+        let ds = sample_dataset();
+        let result = run_query(
+            &ds,
+            "AGGREGATE sum(time) GROUP BY function ORDER BY sum#time desc",
+        )
+        .unwrap();
+        let sums: Vec<i64> = result
+            .records
+            .iter()
+            .map(|r| {
+                let attr = result.store.find("sum#time").unwrap();
+                r.get(attr.id()).unwrap().to_i64().unwrap()
+            })
+            .collect();
+        assert_eq!(sums, vec![160, 80]);
+    }
+
+    #[test]
+    fn select_restricts_columns() {
+        let ds = sample_dataset();
+        let result = run_query(
+            &ds,
+            "AGGREGATE count, sum(time) GROUP BY function SELECT function, count",
+        )
+        .unwrap();
+        let cols: Vec<&str> = result.columns.iter().map(|a| a.name()).collect();
+        assert_eq!(cols, vec!["function", "count"]);
+    }
+
+    #[test]
+    fn passthrough_without_aggregation() {
+        let ds = sample_dataset();
+        let result = run_query(&ds, "SELECT * WHERE function=foo").unwrap();
+        assert_eq!(result.records.len(), 8);
+        // pass-through keeps the input store
+        assert!(Arc::ptr_eq(&result.store, &ds.store));
+    }
+
+    #[test]
+    fn formats_render() {
+        let ds = sample_dataset();
+        for (fmt, probe) in [
+            ("table", "sum#time"),
+            ("csv", "function,sum#time"),
+            ("json", "\"function\""),
+            ("expand", "function="),
+            ("cali", "__rec=ctx"),
+        ] {
+            let result = run_query(
+                &ds,
+                &format!("AGGREGATE sum(time) GROUP BY function FORMAT {fmt}"),
+            )
+            .unwrap();
+            let out = result.render();
+            assert!(out.contains(probe), "format {fmt}: {out}");
+        }
+    }
+
+    #[test]
+    fn cali_output_reparses() {
+        let ds = sample_dataset();
+        let result = run_query(&ds, "AGGREGATE count GROUP BY function FORMAT cali").unwrap();
+        let text = result.render();
+        let back = caliper_format::cali::from_bytes(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn merge_across_pipelines_matches_single() {
+        let ds = sample_dataset();
+        let spec = parse_query("AGGREGATE count, sum(time) GROUP BY function").unwrap();
+
+        let mut single = Pipeline::new(spec.clone(), Arc::clone(&ds.store));
+        single.process_dataset(&ds);
+
+        let mut left = Pipeline::new(spec.clone(), Arc::clone(&ds.store));
+        let mut right = Pipeline::new(spec, Arc::clone(&ds.store));
+        for (i, rec) in ds.flat_records().enumerate() {
+            if i % 2 == 0 {
+                left.process(rec);
+            } else {
+                right.process(rec);
+            }
+        }
+        left.merge(right);
+
+        assert_eq!(single.finish().render(), left.finish().render());
+    }
+
+    #[test]
+    fn limit_truncates_after_sort() {
+        let ds = sample_dataset();
+        let result = run_query(
+            &ds,
+            "AGGREGATE sum(time) GROUP BY function, loop.iteration \
+             ORDER BY sum#time desc LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(result.records.len(), 3);
+        // The top-3 are the foo rows (sum 40 each), not bar (20).
+        let f = result.store.find("function").unwrap();
+        for rec in &result.records {
+            assert_eq!(rec.get(f.id()), Some(&Value::str("foo")));
+        }
+    }
+
+    #[test]
+    fn requery_drills_down() {
+        let ds = sample_dataset();
+        let coarse = run_query(&ds, "AGGREGATE sum(time) GROUP BY function, loop.iteration")
+            .unwrap();
+        let refined = coarse
+            .requery("AGGREGATE sum(sum#time) AS t GROUP BY function ORDER BY t desc")
+            .unwrap();
+        assert_eq!(refined.records.len(), 2);
+        let t = refined.store.find("t").unwrap();
+        assert_eq!(
+            refined.records[0].get(t.id()).unwrap().to_i64(),
+            Some(160)
+        );
+    }
+
+    #[test]
+    fn group_by_without_ops_dedups() {
+        let ds = sample_dataset();
+        let result = run_query(&ds, "GROUP BY function").unwrap();
+        assert_eq!(result.records.len(), 2);
+    }
+
+    #[test]
+    fn let_derived_attribute_feeds_aggregation() {
+        let ds = sample_dataset();
+        let result = run_query(
+            &ds,
+            "LET time.scaled = scale(time, 2) AGGREGATE sum(time.scaled) GROUP BY function",
+        )
+        .unwrap();
+        let foo = result.lookup(
+            |r, s| {
+                let f = s.find("function").unwrap();
+                r.get(f.id()) == Some(&Value::str("foo"))
+            },
+            "sum#time.scaled",
+        );
+        assert_eq!(foo, Some(Value::Float(320.0)));
+    }
+
+    use crate::parser::parse_query;
+}

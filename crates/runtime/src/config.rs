@@ -1,0 +1,242 @@
+//! Runtime configuration profiles.
+//!
+//! The paper (§IV-A): "Users specify which building blocks to use in a
+//! runtime configuration profile, either in a configuration file or
+//! environment variables." A [`Config`] is a small key=value dictionary
+//! with typed accessors; [`Config::from_text`] parses the file form
+//! (one `key = value` per line, `#` comments).
+//!
+//! Recognized keys:
+//!
+//! | key                   | meaning                                           |
+//! |-----------------------|---------------------------------------------------|
+//! | `services`            | comma list: `aggregate`, `trace`, `timer`, `sampler`, `event` |
+//! | `aggregate.key`       | comma list of key attribute labels (GROUP BY)     |
+//! | `aggregate.ops`       | AGGREGATE op list, e.g. `count,sum(time.duration)`|
+//! | `sampler.interval.ns` | sampling period for the sampler service           |
+//!
+//! Unknown keys are kept (services may define their own).
+
+use std::collections::BTreeMap;
+
+/// Error from parsing a configuration profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A runtime configuration profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Config {
+    entries: BTreeMap<String, String>,
+}
+
+impl Config {
+    /// Empty profile (no services enabled).
+    pub fn new() -> Config {
+        Config::default()
+    }
+
+    /// Parse the config-file form.
+    pub fn from_text(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match line.split_once('=') {
+                Some((key, value)) => {
+                    config
+                        .entries
+                        .insert(key.trim().to_string(), value.trim().to_string());
+                }
+                None => {
+                    return Err(ConfigError {
+                        line: i + 1,
+                        message: format!("expected 'key = value', got '{line}'"),
+                    })
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Build a profile from environment variables, the second
+    /// configuration path named in §IV-A. Variables are matched by
+    /// prefix and mapped to config keys: with the default prefix,
+    /// `CALI_SERVICES=event,timer,trace` sets `services`, and
+    /// `CALI_AGGREGATE_KEY=kernel` sets `aggregate.key` (underscores
+    /// after the prefix become dots, lowercased).
+    pub fn from_env_prefix(prefix: &str) -> Config {
+        let mut config = Config::new();
+        for (key, value) in std::env::vars() {
+            if let Some(rest) = key.strip_prefix(prefix) {
+                let key = rest.to_ascii_lowercase().replace('_', ".");
+                if !key.is_empty() {
+                    config.entries.insert(key, value);
+                }
+            }
+        }
+        config
+    }
+
+    /// [`Config::from_env_prefix`] with the conventional `CALI_` prefix.
+    pub fn from_env() -> Config {
+        Config::from_env_prefix("CALI_")
+    }
+
+    /// Set a key (builder style).
+    pub fn set(mut self, key: &str, value: &str) -> Config {
+        self.entries.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Comma-separated list value (trimmed, empty items dropped).
+    pub fn get_list(&self, key: &str) -> Vec<String> {
+        self.get(key)
+            .map(|v| {
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Integer value with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Boolean value with default (`true`/`false`/`1`/`0`).
+    pub fn get_bool(&self, key: &str, default: bool) -> bool {
+        match self.get(key) {
+            Some("true") | Some("1") => true,
+            Some("false") | Some("0") => false,
+            _ => default,
+        }
+    }
+
+    /// Whether a service is listed in `services`.
+    pub fn service_enabled(&self, name: &str) -> bool {
+        self.get_list("services").iter().any(|s| s == name)
+    }
+
+    // ---- convenience constructors for the common profiles ----
+
+    /// Event-triggered tracing: every begin/end produces a stored
+    /// snapshot record.
+    pub fn event_trace() -> Config {
+        Config::new().set("services", "event,timer,trace")
+    }
+
+    /// Event-triggered on-line aggregation with the given scheme.
+    pub fn event_aggregate(key: &str, ops: &str) -> Config {
+        Config::new()
+            .set("services", "event,timer,aggregate")
+            .set("aggregate.key", key)
+            .set("aggregate.ops", ops)
+    }
+
+    /// Sampled tracing with the given period.
+    pub fn sampled_trace(interval_ns: u64) -> Config {
+        Config::new()
+            .set("services", "sampler,timer,trace")
+            .set("sampler.interval.ns", &interval_ns.to_string())
+    }
+
+    /// Sampled on-line aggregation.
+    pub fn sampled_aggregate(interval_ns: u64, key: &str, ops: &str) -> Config {
+        Config::new()
+            .set("services", "sampler,timer,aggregate")
+            .set("sampler.interval.ns", &interval_ns.to_string())
+            .set("aggregate.key", key)
+            .set("aggregate.ops", ops)
+    }
+
+    /// Baseline: no data collection at all (the paper's Figure 3
+    /// baseline configuration).
+    pub fn baseline() -> Config {
+        Config::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_file_form() {
+        let config = Config::from_text(
+            "# CleverLeaf profile\nservices = event, timer, aggregate\naggregate.key = kernel,mpi.function\nsampler.interval.ns = 10000000\n",
+        )
+        .unwrap();
+        assert!(config.service_enabled("event"));
+        assert!(config.service_enabled("aggregate"));
+        assert!(!config.service_enabled("trace"));
+        assert_eq!(
+            config.get_list("aggregate.key"),
+            vec!["kernel", "mpi.function"]
+        );
+        assert_eq!(config.get_u64("sampler.interval.ns", 0), 10_000_000);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = Config::from_text("services trace").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn typed_accessors_default() {
+        let config = Config::new().set("flag", "true").set("n", "nope");
+        assert!(config.get_bool("flag", false));
+        assert!(!config.get_bool("missing", false));
+        assert_eq!(config.get_u64("n", 7), 7);
+        assert!(config.get_list("missing").is_empty());
+    }
+
+    #[test]
+    fn env_profile_maps_keys() {
+        // Use a unique prefix so parallel tests cannot interfere.
+        std::env::set_var("CALITEST77_SERVICES", "event,timer,trace");
+        std::env::set_var("CALITEST77_AGGREGATE_KEY", "kernel");
+        std::env::set_var("CALITEST77_SAMPLER_INTERVAL_NS", "5000");
+        let config = Config::from_env_prefix("CALITEST77_");
+        assert!(config.service_enabled("trace"));
+        assert_eq!(config.get("aggregate.key"), Some("kernel"));
+        assert_eq!(config.get_u64("sampler.interval.ns", 0), 5000);
+        std::env::remove_var("CALITEST77_SERVICES");
+        std::env::remove_var("CALITEST77_AGGREGATE_KEY");
+        std::env::remove_var("CALITEST77_SAMPLER_INTERVAL_NS");
+    }
+
+    #[test]
+    fn profile_constructors() {
+        let c = Config::event_aggregate("kernel", "count,sum(time.duration)");
+        assert!(c.service_enabled("aggregate"));
+        assert_eq!(c.get("aggregate.ops"), Some("count,sum(time.duration)"));
+        assert_eq!(Config::baseline(), Config::new());
+        let s = Config::sampled_trace(10_000_000);
+        assert!(s.service_enabled("sampler"));
+        assert!(s.service_enabled("trace"));
+    }
+}

@@ -1,0 +1,67 @@
+//! # caliper-runtime — the on-line performance monitoring runtime
+//!
+//! The runtime library of the reproduction (paper §IV-A/§IV-B): a
+//! per-process [`Caliper`] instance holds the attribute dictionary,
+//! context tree and configuration; per-thread [`ThreadScope`]s own a
+//! blackboard and service instances and process snapshots without
+//! locks.
+//!
+//! Data flow (Figure 2 of the paper):
+//!
+//! ```text
+//!  begin/end/set ──► blackboard update
+//!        │ (event service)            (sampler service)
+//!        ▼                                   ▼
+//!   snapshot: compressed blackboard copy + trigger info
+//!        │ augment: timer adds time.duration
+//!        ▼
+//!   consume: trace buffers it / aggregate streams it into the
+//!            per-thread aggregation database
+//!        │ flush (at thread end)
+//!        ▼
+//!   process Dataset ──► .cali file ──► off-line cross-process and
+//!                                      analytical aggregation
+//! ```
+//!
+//! ```
+//! use caliper_runtime::{Caliper, Clock, Config};
+//! use caliper_query::run_query;
+//!
+//! let config = Config::event_aggregate("function", "count,sum(time.duration)");
+//! let caliper = Caliper::with_clock(config, Clock::virtual_clock());
+//! let function = caliper.region_attribute("function");
+//!
+//! let mut scope = caliper.make_thread_scope();
+//! for _ in 0..10 {
+//!     scope.begin(&function, "foo");
+//!     scope.advance_time(1_000); // 1 us of (virtual) work
+//!     scope.end(&function).unwrap();
+//! }
+//! scope.flush();
+//!
+//! let profile = caliper.take_dataset();
+//! let result = run_query(&profile, "SELECT * FORMAT table").unwrap();
+//! assert_eq!(profile.len(), 2); // entries: foo, (outside foo)
+//! assert!(result.render().contains("foo"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod blackboard;
+pub mod clock;
+pub mod config;
+pub mod global;
+pub mod runtime;
+pub mod services;
+pub mod thread;
+
+pub use annotation::Annotation;
+pub use blackboard::{Blackboard, NestingError};
+pub use clock::Clock;
+pub use config::{Config, ConfigError};
+pub use runtime::{Caliper, Channel};
+pub use services::{
+    AggregateService, CountersService, ProcCtx, Service, TimerService, TraceService, Trigger,
+};
+pub use thread::ThreadScope;

@@ -1,0 +1,428 @@
+//! The per-process Caliper runtime instance and its channels.
+//!
+//! A [`Caliper`] owns the process-wide state: attribute dictionary,
+//! context tree, and clock. Data collection happens in [`Channel`]s —
+//! independent (configuration, services, output dataset) bundles that
+//! observe the same program annotations. A process usually has one
+//! channel, but several can run *simultaneously*: e.g. a low-overhead
+//! sampled profile and a detailed event-aggregated profile from a
+//! single run — the paper's "we only changed the aggregation schemes"
+//! workflow (§VI-F) without even re-running.
+//!
+//! In a distributed-memory program each (simulated) process creates its
+//! own `Caliper`; there is no inter-process communication at runtime
+//! (§IV-A) — cross-process aggregation happens in post-processing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use caliper_data::{Attribute, AttributeStore, ContextTree, Properties, Value, ValueType};
+use caliper_format::Dataset;
+use parking_lot::{Mutex, RwLock};
+
+use crate::clock::Clock;
+use crate::config::Config;
+use crate::thread::ThreadScope;
+
+/// One data-collection channel: a configuration profile plus the
+/// process dataset its per-thread services flush into.
+pub struct Channel {
+    name: String,
+    config: Config,
+    collected: Mutex<Dataset>,
+    total_snapshots: AtomicU64,
+    flushed_threads: AtomicU64,
+}
+
+impl Channel {
+    fn new(name: &str, config: Config, store: Arc<AttributeStore>, tree: Arc<ContextTree>) -> Channel {
+        Channel {
+            name: name.to_string(),
+            config,
+            collected: Mutex::new(Dataset::with_context(store, tree)),
+            total_snapshots: AtomicU64::new(0),
+            flushed_threads: AtomicU64::new(0),
+        }
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The channel's configuration profile.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Set a dataset-global metadata value on this channel.
+    pub fn set_global(&self, label: &str, value: impl Into<Value>) {
+        self.collected.lock().set_global(label, value);
+    }
+
+    /// Record flushed per-thread output into the channel dataset.
+    pub(crate) fn collect(&self, records: Dataset, snapshots: u64) {
+        let mut collected = self.collected.lock();
+        collected.records.extend(records.records);
+        collected.globals.extend(records.globals);
+        self.total_snapshots.fetch_add(snapshots, Ordering::Relaxed);
+        self.flushed_threads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take the collected dataset (e.g. to write a `.cali` file),
+    /// leaving an empty dataset behind. Thread scopes must be flushed
+    /// first.
+    pub fn take_dataset(&self) -> Dataset {
+        let mut collected = self.collected.lock();
+        let store = Arc::clone(&collected.store);
+        let tree = Arc::clone(&collected.tree);
+        std::mem::replace(&mut *collected, Dataset::with_context(store, tree))
+    }
+
+    /// Run the channel's configured flush-time report (`report.config`
+    /// query over the collected dataset, without consuming it). See
+    /// [`Caliper::report`].
+    pub fn report(&self) -> Option<String> {
+        let query = self.config.get("report.config")?.to_string();
+        let collected = self.collected.lock();
+        Some(match caliper_query::run_query(&collected, &query) {
+            Ok(result) => result.render(),
+            Err(e) => format!("report error: {e}\n"),
+        })
+    }
+
+    /// Total snapshots processed by flushed thread scopes on this
+    /// channel (Table I's "snapshots" column).
+    pub fn total_snapshots(&self) -> u64 {
+        self.total_snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Number of thread scopes that have flushed into this channel.
+    pub fn flushed_threads(&self) -> u64 {
+        self.flushed_threads.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Channel({}, {} snapshots)",
+            self.name,
+            self.total_snapshots()
+        )
+    }
+}
+
+/// A per-process Caliper runtime.
+pub struct Caliper {
+    store: Arc<AttributeStore>,
+    tree: Arc<ContextTree>,
+    clock: Clock,
+    channels: RwLock<Vec<Arc<Channel>>>,
+}
+
+impl Caliper {
+    /// Create a runtime with a real (monotonic) clock and one default
+    /// channel running `config`.
+    pub fn new(config: Config) -> Arc<Caliper> {
+        Caliper::with_clock(config, Clock::real())
+    }
+
+    /// Create a runtime with an explicit clock (virtual clocks for
+    /// deterministic workload models).
+    pub fn with_clock(config: Config, clock: Clock) -> Arc<Caliper> {
+        let store = Arc::new(AttributeStore::new());
+        let tree = Arc::new(ContextTree::new());
+        let default = Arc::new(Channel::new(
+            "default",
+            config,
+            Arc::clone(&store),
+            Arc::clone(&tree),
+        ));
+        Arc::new(Caliper {
+            store,
+            tree,
+            clock,
+            channels: RwLock::new(vec![default]),
+        })
+    }
+
+    /// The process attribute dictionary.
+    pub fn store(&self) -> &Arc<AttributeStore> {
+        &self.store
+    }
+
+    /// The process context tree.
+    pub fn tree(&self) -> &Arc<ContextTree> {
+        &self.tree
+    }
+
+    /// The runtime clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The default channel's configuration profile.
+    pub fn config(&self) -> Config {
+        self.default_channel().config.clone()
+    }
+
+    /// The default channel (created from the constructor's config).
+    pub fn default_channel(&self) -> Arc<Channel> {
+        Arc::clone(&self.channels.read()[0])
+    }
+
+    /// Create an additional data-collection channel. Thread scopes
+    /// created *after* this call serve the new channel as well; existing
+    /// scopes are unaffected.
+    pub fn create_channel(&self, name: &str, config: Config) -> Arc<Channel> {
+        let channel = Arc::new(Channel::new(
+            name,
+            config,
+            Arc::clone(&self.store),
+            Arc::clone(&self.tree),
+        ));
+        self.channels.write().push(Arc::clone(&channel));
+        channel
+    }
+
+    /// All channels, in creation order (the default channel first).
+    pub fn channels(&self) -> Vec<Arc<Channel>> {
+        self.channels.read().clone()
+    }
+
+    /// Intern an attribute.
+    pub fn attribute(&self, name: &str, vtype: ValueType, props: Properties) -> Attribute {
+        self.store
+            .create(name, vtype, props)
+            .expect("attribute type conflict")
+    }
+
+    /// Intern a nested (begin/end) string attribute — the common case
+    /// for source-code annotations.
+    pub fn region_attribute(&self, name: &str) -> Attribute {
+        self.attribute(name, ValueType::Str, Properties::NESTED)
+    }
+
+    /// Create a thread scope: the per-thread blackboard plus service
+    /// instances for every current channel. Each monitored thread of
+    /// the target program needs its own scope (real Caliper keeps this
+    /// in thread-local storage; here the handle is explicit).
+    pub fn make_thread_scope(self: &Arc<Self>) -> ThreadScope {
+        ThreadScope::new(Arc::clone(self))
+    }
+
+    /// Set a dataset-global metadata value (e.g. `mpi.rank`) on every
+    /// channel — process metadata belongs in every output dataset.
+    pub fn set_global(&self, label: &str, value: impl Into<Value>) {
+        let value = value.into();
+        for channel in self.channels.read().iter() {
+            channel.set_global(label, value.clone());
+        }
+    }
+
+    /// Take the default channel's collected dataset.
+    pub fn take_dataset(&self) -> Dataset {
+        self.default_channel().take_dataset()
+    }
+
+    /// Run the default channel's flush-time report: if its profile sets
+    /// `report.config` to a query, execute it over the collected
+    /// dataset and return the rendered result (without consuming the
+    /// dataset). Mirrors Caliper's runtime report service — a profile
+    /// like
+    ///
+    /// ```text
+    /// services = event,timer,aggregate,report
+    /// report.config = SELECT function, sum#time.duration ORDER BY function
+    /// ```
+    ///
+    /// prints a profile when the program ends. Returns `None` when no
+    /// report is configured; query errors are returned as the rendered
+    /// error text so a broken report never aborts the target program.
+    pub fn report(&self) -> Option<String> {
+        self.default_channel().report()
+    }
+
+    /// Total snapshots processed by the default channel (Table I's
+    /// "snapshots" column).
+    pub fn total_snapshots(&self) -> u64 {
+        self.default_channel().total_snapshots()
+    }
+
+    /// Number of thread scopes that have flushed into the default
+    /// channel.
+    pub fn flushed_threads(&self) -> u64 {
+        self.default_channel().flushed_threads()
+    }
+}
+
+impl std::fmt::Debug for Caliper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Caliper({} attrs, {} nodes, {} channels)",
+            self.store.len(),
+            self.tree.len(),
+            self.channels.read().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_land_in_dataset() {
+        let caliper = Caliper::with_clock(Config::baseline(), Clock::virtual_clock());
+        caliper.set_global("mpi.rank", 3i64);
+        caliper.set_global("experiment", "test");
+        let ds = caliper.take_dataset();
+        assert_eq!(ds.global("mpi.rank"), Some(Value::Int(3)));
+        assert_eq!(ds.global("experiment"), Some(Value::str("test")));
+        // take_dataset leaves an empty dataset
+        assert!(caliper.take_dataset().globals.is_empty());
+    }
+
+    #[test]
+    fn attribute_helpers_set_properties() {
+        let caliper = Caliper::with_clock(Config::baseline(), Clock::virtual_clock());
+        let region = caliper.region_attribute("function");
+        assert!(region.is_nested());
+        assert_eq!(region.value_type(), ValueType::Str);
+        let metric = caliper.attribute(
+            "bytes",
+            ValueType::UInt,
+            Properties::AS_VALUE | Properties::AGGREGATABLE,
+        );
+        assert!(metric.is_aggregatable());
+    }
+
+    #[test]
+    fn report_runs_configured_query() {
+        let config = Config::event_aggregate("function", "count,sum(time.duration)")
+            .set("services", "event,timer,aggregate,report")
+            .set(
+                "report.config",
+                "SELECT function, aggregate.count WHERE function ORDER BY function",
+            );
+        let caliper = Caliper::with_clock(config, Clock::virtual_clock());
+        let function = caliper.region_attribute("function");
+        let mut scope = caliper.make_thread_scope();
+        for name in ["solve", "io", "solve"] {
+            scope.begin(&function, name);
+            scope.advance_time(1_000);
+            scope.end(&function).unwrap();
+        }
+        scope.flush();
+        let report = caliper.report().expect("report configured");
+        assert!(report.contains("solve"), "{report}");
+        assert!(report.contains("io"), "{report}");
+        // Reporting does not consume the dataset.
+        assert!(!caliper.take_dataset().is_empty());
+
+        let no_report = Caliper::with_clock(Config::baseline(), Clock::virtual_clock());
+        assert!(no_report.report().is_none());
+    }
+
+    #[test]
+    fn report_errors_are_contained() {
+        let config = Config::baseline().set("report.config", "AGGREGATE bogus(x)");
+        let caliper = Caliper::with_clock(config, Clock::virtual_clock());
+        let report = caliper.report().unwrap();
+        assert!(report.contains("report error"), "{report}");
+    }
+
+    #[test]
+    fn counters_service_reports_through_runtime() {
+        let config = Config::new()
+            .set("services", "event,counters,trace")
+            .set("counters.ghz", "1.0")
+            .set("counters.ipc", "2.0");
+        let caliper = Caliper::with_clock(config, Clock::virtual_clock());
+        let function = caliper.region_attribute("function");
+        let mut scope = caliper.make_thread_scope();
+        scope.begin(&function, "work");
+        scope.advance_time(500);
+        scope.end(&function).unwrap();
+        scope.flush();
+        let ds = caliper.take_dataset();
+        let cycles = ds.store.find("cpu.cycles").unwrap();
+        let instructions = ds.store.find("cpu.instructions").unwrap();
+        // The end-event snapshot carries the 500 ns of work: 500 cycles
+        // at 1 GHz, 1000 instructions at IPC 2.
+        let flats: Vec<_> = ds.flat_records().collect();
+        let end_snap = flats
+            .iter()
+            .find(|r| r.get(cycles.id()) == Some(&Value::UInt(500)))
+            .expect("end snapshot with counter delta");
+        assert_eq!(
+            end_snap.get(instructions.id()),
+            Some(&Value::UInt(1_000))
+        );
+    }
+
+    #[test]
+    fn channels_collect_independently() {
+        // One run, two simultaneous schemes: a trace channel and an
+        // aggregation channel.
+        let caliper = Caliper::with_clock(Config::event_trace(), Clock::virtual_clock());
+        let agg_channel = caliper.create_channel(
+            "profile",
+            Config::event_aggregate("function", "count,sum(time.duration)"),
+        );
+        let function = caliper.region_attribute("function");
+        let mut scope = caliper.make_thread_scope();
+        for _ in 0..5 {
+            scope.begin(&function, "work");
+            scope.advance_time(1_000);
+            scope.end(&function).unwrap();
+        }
+        scope.flush();
+
+        // Trace channel: one record per event (5 x begin+end = 10).
+        let trace = caliper.take_dataset();
+        assert_eq!(trace.len(), 10);
+        // Aggregation channel: 2 keys (work / no function).
+        let profile = agg_channel.take_dataset();
+        assert_eq!(profile.len(), 2);
+        assert_eq!(agg_channel.total_snapshots(), 10);
+        assert_eq!(agg_channel.name(), "profile");
+    }
+
+    #[test]
+    fn channels_can_differ_in_trigger_mode() {
+        // Default channel samples; second channel is event-triggered.
+        let caliper = Caliper::with_clock(
+            Config::sampled_trace(1_000),
+            Clock::virtual_clock(),
+        );
+        let events = caliper.create_channel("events", Config::event_trace());
+        let function = caliper.region_attribute("function");
+        let mut scope = caliper.make_thread_scope();
+        scope.begin(&function, "work");
+        scope.advance_time(10_000); // 10 sampling periods
+        scope.end(&function).unwrap();
+        scope.flush();
+
+        assert_eq!(caliper.take_dataset().len(), 10); // samples
+        assert_eq!(events.take_dataset().len(), 2); // begin + end
+    }
+
+    #[test]
+    fn globals_reach_all_channels() {
+        let caliper = Caliper::with_clock(Config::baseline(), Clock::virtual_clock());
+        let second = caliper.create_channel("b", Config::baseline());
+        caliper.set_global("mpi.rank", 7i64);
+        assert_eq!(
+            caliper.take_dataset().global("mpi.rank"),
+            Some(Value::Int(7))
+        );
+        assert_eq!(
+            second.take_dataset().global("mpi.rank"),
+            Some(Value::Int(7))
+        );
+    }
+}

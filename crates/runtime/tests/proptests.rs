@@ -1,0 +1,155 @@
+//! Property-based tests for the runtime: the blackboard must behave
+//! like a reference model (per-attribute stacks) under arbitrary
+//! begin/end/set sequences, and snapshot processing must be lossless.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use caliper_data::{Attribute, AttributeStore, ContextTree, Properties, Value, ValueType};
+use caliper_runtime::Blackboard;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Begin(usize, String),
+    End(usize),
+    Set(usize, String),
+    Snapshot,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..4, "[a-z]{1,6}").prop_map(|(a, v)| Op::Begin(a, v)),
+        (0usize..4).prop_map(Op::End),
+        (0usize..4, "[a-z]{1,6}").prop_map(|(a, v)| Op::Set(a, v)),
+        Just(Op::Snapshot),
+    ]
+}
+
+/// Reference model: an independent value stack per attribute.
+#[derive(Default)]
+struct Model {
+    stacks: HashMap<usize, Vec<String>>,
+}
+
+impl Model {
+    fn begin(&mut self, attr: usize, value: &str) {
+        self.stacks.entry(attr).or_default().push(value.to_string());
+    }
+    fn end(&mut self, attr: usize) -> bool {
+        self.stacks.entry(attr).or_default().pop().is_some()
+    }
+    fn set(&mut self, attr: usize, value: &str) {
+        let stack = self.stacks.entry(attr).or_default();
+        stack.pop();
+        stack.push(value.to_string());
+    }
+    fn top(&self, attr: usize) -> Option<&String> {
+        self.stacks.get(&attr).and_then(|s| s.last())
+    }
+    fn values(&self, attr: usize) -> Vec<String> {
+        self.stacks.get(&attr).cloned().unwrap_or_default()
+    }
+}
+
+fn setup(nested: bool) -> (Arc<ContextTree>, Vec<Attribute>, Blackboard) {
+    let store = AttributeStore::new();
+    let tree = Arc::new(ContextTree::new());
+    let props = if nested {
+        Properties::NESTED
+    } else {
+        Properties::AS_VALUE
+    };
+    let attrs: Vec<Attribute> = (0..4)
+        .map(|i| {
+            store
+                .create(&format!("attr.{i}"), ValueType::Str, props)
+                .unwrap()
+        })
+        .collect();
+    let bb = Blackboard::new(Arc::clone(&tree));
+    (tree, attrs, bb)
+}
+
+fn check_model(
+    ops: &[Op],
+    nested: bool,
+) -> Result<(), TestCaseError> {
+    let (tree, attrs, mut bb) = setup(nested);
+    let mut model = Model::default();
+    for op in ops {
+        match op {
+            Op::Begin(a, v) => {
+                bb.begin(&attrs[*a], Value::str(v.as_str()));
+                model.begin(*a, v);
+            }
+            Op::End(a) => {
+                let model_ok = model.end(*a);
+                let bb_result = bb.end(&attrs[*a]);
+                prop_assert_eq!(
+                    model_ok,
+                    bb_result.is_ok(),
+                    "end behaviour diverged for attr {}",
+                    a
+                );
+            }
+            Op::Set(a, v) => {
+                bb.set(&attrs[*a], Value::str(v.as_str()));
+                model.set(*a, v);
+            }
+            Op::Snapshot => {
+                let flat = bb.snapshot().unpack(&tree);
+                for (i, attr) in attrs.iter().enumerate() {
+                    // The innermost value must match the model's top.
+                    let expect = model.top(i).map(|s| Value::str(s.as_str()));
+                    prop_assert_eq!(
+                        flat.get(attr.id()).cloned(),
+                        expect,
+                        "innermost of attr {} diverged",
+                        i
+                    );
+                    if nested {
+                        // For nested attributes the snapshot carries the
+                        // whole stack, in order.
+                        let got: Vec<String> =
+                            flat.all(attr.id()).map(|v| v.to_string()).collect();
+                        prop_assert_eq!(got, model.values(i));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Nested (context-tree) attributes behave like per-attribute stacks
+    /// even though they share one node chain.
+    #[test]
+    fn nested_blackboard_matches_stack_model(ops in prop::collection::vec(arb_op(), 0..120)) {
+        check_model(&ops, true)?;
+    }
+
+    /// AS_VALUE attributes behave like per-attribute stacks.
+    #[test]
+    fn immediate_blackboard_matches_stack_model(ops in prop::collection::vec(arb_op(), 0..120)) {
+        check_model(&ops, false)?;
+    }
+
+    /// Snapshots never panic and are internally consistent for random
+    /// interleavings; the blackboard is empty after ending everything.
+    #[test]
+    fn balanced_sequences_drain_the_blackboard(
+        values in prop::collection::vec((0usize..4, "[a-z]{1,4}"), 1..40),
+    ) {
+        let (_tree, attrs, mut bb) = setup(true);
+        for (a, v) in &values {
+            bb.begin(&attrs[*a], Value::str(v.as_str()));
+        }
+        // End in reverse order (well nested).
+        for (a, _) in values.iter().rev() {
+            prop_assert!(bb.end(&attrs[*a]).is_ok());
+        }
+        prop_assert!(bb.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! The CleverLeaf case study (§VI), end to end: run the instrumented
+//! AMR proxy with a comprehensive on-line aggregation scheme, then
+//! interactively answer all four of the paper's analysis questions from
+//! the same profile, only by changing the off-line query:
+//!
+//! 1. where does kernel time go (Figure 5),
+//! 2. what does communication cost (Figure 6),
+//! 3. how much time per AMR level over time (Figure 8),
+//! 4. how do refinement levels spread across ranks (Figure 9).
+//!
+//! "All experiments ran with the same program executable using the same
+//! instrumentation annotations, we only changed the aggregation
+//! schemes." (§VI-F)
+//!
+//! Run with: `cargo run --release --example cleverleaf_analysis`
+
+use caliper_repro::prelude::*;
+
+fn show(merged: &Dataset, title: &str, query: &str) {
+    println!("== {title} ==");
+    println!("   {}\n", query.replace('\n', "\n   "));
+    let result = run_query(merged, query).expect("query");
+    println!("{}", result.render());
+}
+
+fn main() {
+    // A small version of the triple-point run (full size with --full).
+    let full = std::env::args().any(|a| a == "--full");
+    let params = CleverLeafParams {
+        timesteps: if full { 100 } else { 25 },
+        ranks: if full { 18 } else { 6 },
+        ..CleverLeafParams::case_study()
+    };
+    eprintln!(
+        "running CleverLeaf proxy: {} ranks, {} timesteps ...",
+        params.ranks, params.timesteps
+    );
+
+    // §VI-E: on-line aggregation over ALL annotation attributes,
+    // including the application-specific AMR level.
+    let scheme_key =
+        "function,annotation,kernel,amr.level,iteration#mainloop,mpi.function,mpi.rank";
+    let config = Config::event_aggregate(scheme_key, "count,sum(time.duration)");
+    let app = CleverLeaf::new(params);
+    let per_rank = app.run_all(&config);
+    eprintln!(
+        "per-process profile records: {} (paper: 257592)\n",
+        per_rank[0].len()
+    );
+
+    // Cross-process merge (what feeding all .cali files to cali-query does).
+    let mut merged = Dataset::new();
+    for ds in &per_rank {
+        let bytes = cali::to_bytes(ds);
+        let mut reader = caliper_repro::format::CaliReader::into_dataset(merged);
+        reader
+            .read_stream(std::io::BufReader::new(&bytes[..]))
+            .expect("merge rank dataset");
+        merged = reader.finish();
+    }
+
+    show(
+        &merged,
+        "computational kernels (Figure 5)",
+        "AGGREGATE sum(sum#time.duration) AS time, sum(aggregate.count) AS visits \
+         WHERE kernel GROUP BY kernel ORDER BY time desc",
+    );
+    show(
+        &merged,
+        "MPI functions (Figure 6)",
+        "AGGREGATE sum(sum#time.duration) AS time, sum(aggregate.count) AS calls \
+         WHERE mpi.function GROUP BY mpi.function ORDER BY time desc",
+    );
+    show(
+        &merged,
+        "time per AMR level, first 5 timesteps (Figure 8)",
+        "AGGREGATE sum(sum#time.duration) AS time \
+         WHERE not(mpi.function), amr.level, iteration#mainloop < 5 \
+         GROUP BY amr.level, iteration#mainloop \
+         ORDER BY iteration#mainloop, amr.level",
+    );
+    show(
+        &merged,
+        "time per AMR level per rank (Figure 9)",
+        "AGGREGATE sum(sum#time.duration) AS time \
+         WHERE not(mpi.function), amr.level \
+         GROUP BY amr.level, mpi.rank ORDER BY mpi.rank, amr.level",
+    );
+}

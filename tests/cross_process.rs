@@ -1,0 +1,215 @@
+//! Cross-process aggregation integration tests: runtime → `.cali`
+//! files → serial and parallel off-line aggregation (§IV-C, §V-C).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cali_cli::{parallel_query, read_files};
+use caliper_repro::prelude::*;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "caliper-it-{name}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run the CleverLeaf proxy and write one .cali file per rank.
+fn write_rank_files(dir: &std::path::Path, ranks: usize) -> Vec<PathBuf> {
+    let app = CleverLeaf::new(CleverLeafParams {
+        timesteps: 8,
+        ranks,
+        ..CleverLeafParams::case_study()
+    });
+    let config = Config::event_aggregate(
+        "kernel,mpi.function,mpi.rank,iteration#mainloop",
+        "count,sum(time.duration)",
+    );
+    let datasets = app.run_all(&config);
+    datasets
+        .iter()
+        .enumerate()
+        .map(|(rank, ds)| {
+            let path = dir.join(format!("rank-{rank:03}.cali"));
+            cali::write_file(ds, &path).unwrap();
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn file_roundtrip_preserves_query_results() {
+    let dir = temp_dir("roundtrip");
+    let app = CleverLeaf::new(CleverLeafParams {
+        timesteps: 5,
+        ranks: 2,
+        ..CleverLeafParams::case_study()
+    });
+    let config = Config::event_aggregate("kernel", "count,sum(time.duration)");
+    let datasets = app.run_all(&config);
+
+    let query = "AGGREGATE sum(sum#time.duration) WHERE kernel GROUP BY kernel";
+    let direct = run_query(&datasets[0], query).unwrap();
+
+    let path = dir.join("rank0.cali");
+    cali::write_file(&datasets[0], &path).unwrap();
+    let reloaded = cali::read_file(&path).unwrap();
+    let roundtripped = run_query(&reloaded, query).unwrap();
+
+    assert_eq!(
+        direct.to_table().render(),
+        roundtripped.to_table().render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_query_equals_serial_query() {
+    let dir = temp_dir("parallel");
+    let paths = write_rank_files(&dir, 7);
+
+    let query = "AGGREGATE sum(sum#time.duration), sum(aggregate.count) \
+                 WHERE kernel GROUP BY kernel";
+
+    let merged = read_files(&paths).unwrap();
+    let serial = run_query(&merged, query).unwrap();
+
+    for np in [1, 2, 3, 7] {
+        let mut per_rank: Vec<Vec<PathBuf>> = vec![Vec::new(); np];
+        for (i, p) in paths.iter().enumerate() {
+            per_rank[i % np].push(p.clone());
+        }
+        let (parallel, timings) = parallel_query(query, per_rank).unwrap();
+        assert_eq!(
+            serial.to_table().render(),
+            parallel.to_table().render(),
+            "np = {np}"
+        );
+        assert_eq!(timings.local_s.len(), np);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn per_rank_data_survives_cross_process_merge() {
+    let dir = temp_dir("per-rank");
+    let ranks = 4;
+    let paths = write_rank_files(&dir, ranks);
+    let merged = read_files(&paths).unwrap();
+
+    // Every rank's data must be present and distinguishable by mpi.rank.
+    // WHERE mpi.rank: the very first event snapshot of each process
+    // fires before mpi.rank is placed on the blackboard and forms a
+    // separate no-rank entry (as the paper's §III-B table shows for
+    // partially-set keys); exclude it here.
+    let result = run_query(
+        &merged,
+        "AGGREGATE sum(aggregate.count) WHERE mpi.rank GROUP BY mpi.rank ORDER BY mpi.rank",
+    )
+    .unwrap();
+    assert_eq!(result.records.len(), ranks);
+    let rank_attr = result.store.find("mpi.rank").unwrap();
+    let ranks_seen: Vec<i64> = result
+        .records
+        .iter()
+        .filter_map(|r| r.get(rank_attr.id())?.to_i64())
+        .collect();
+    assert_eq!(ranks_seen, vec![0, 1, 2, 3]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn two_stage_aggregation_matches_single_stage() {
+    // On-line per-rank aggregation + off-line cross-rank summation must
+    // equal off-line aggregation over the full per-rank traces.
+    let params = CleverLeafParams {
+        timesteps: 4,
+        ranks: 3,
+        ..CleverLeafParams::case_study()
+    };
+    let app = CleverLeaf::new(params);
+
+    // Path 1: online aggregation, then offline sum.
+    let online = app.run_all(&Config::event_aggregate("kernel", "sum(time.duration)"));
+    let mut merged_online = Dataset::new();
+    for ds in &online {
+        let bytes = cali::to_bytes(ds);
+        let mut r = caliper_repro::format::CaliReader::into_dataset(merged_online);
+        r.read_stream(std::io::BufReader::new(&bytes[..])).unwrap();
+        merged_online = r.finish();
+    }
+    let a = run_query(
+        &merged_online,
+        "AGGREGATE sum(sum#time.duration) AS t WHERE kernel GROUP BY kernel ORDER BY kernel",
+    )
+    .unwrap();
+
+    // Path 2: full traces, aggregated offline in one step.
+    let traces = app.run_all(&Config::event_trace());
+    let mut merged_traces = Dataset::new();
+    for ds in &traces {
+        let bytes = cali::to_bytes(ds);
+        let mut r = caliper_repro::format::CaliReader::into_dataset(merged_traces);
+        r.read_stream(std::io::BufReader::new(&bytes[..])).unwrap();
+        merged_traces = r.finish();
+    }
+    let b = run_query(
+        &merged_traces,
+        "AGGREGATE sum(time.duration) AS t WHERE kernel GROUP BY kernel ORDER BY kernel",
+    )
+    .unwrap();
+
+    assert_eq!(a.to_table().render(), b.to_table().render());
+}
+
+#[test]
+fn tree_reduction_inside_mpisim_matches_pipeline_merge() {
+    // Drive the reduction through the mpisim substrate directly.
+    let params = ParaDisParams {
+        iterations: 3,
+        ..Default::default()
+    };
+    let datasets: Vec<Dataset> = (0..6)
+        .map(|r| caliper_repro::apps::paradis::generate_rank(&params, r))
+        .collect();
+    let query = "AGGREGATE sum(sum#time.duration) GROUP BY kernel";
+    let spec = parse_query(query).unwrap();
+
+    // Reference: sequential merge.
+    let mut reference: Option<Pipeline> = None;
+    for ds in &datasets {
+        let mut p = Pipeline::new(spec.clone(), Arc::clone(&ds.store));
+        p.process_dataset(ds);
+        match &mut reference {
+            Some(root) => root.merge(p),
+            None => reference = Some(p),
+        }
+    }
+    let reference = reference.unwrap().finish().to_table().render();
+
+    // mpisim: one rank per dataset, reduce_tree over pipelines.
+    let datasets = Arc::new(datasets);
+    let spec = Arc::new(spec);
+    let results = caliper_repro::mpi::run(6, move |mut comm| {
+        let ds = &datasets[comm.rank()];
+        let mut p = Pipeline::new((*spec).clone(), Arc::clone(&ds.store));
+        p.process_dataset(ds);
+        caliper_repro::mpi::reduce_tree(&mut comm, p, |mut a, b| {
+            a.merge(b);
+            a
+        })
+        .unwrap()
+    });
+    let from_tree = results
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("root result")
+        .finish()
+        .to_table()
+        .render();
+
+    assert_eq!(reference, from_tree);
+}
