@@ -2,15 +2,16 @@
 //! (paper §IV-C).
 //!
 //! ```text
-//! cali-query [-q|--query QUERY] [-o|--output FILE] INPUT.cali...
+//! cali-query [-q|--query QUERY] [-o|--output FILE] [--threads N] INPUT.cali...
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use cali_cli::{parse_args, query_files_streaming, read_files};
+use caliper_query::{parallel_query_files, ParallelOptions, ParallelQueryError, ShardTimings};
 
-const USAGE: &str = "usage: cali-query [-q QUERY] [-o FILE] INPUT.cali...
+const USAGE: &str = "usage: cali-query [-q QUERY] [-o FILE] [--threads N] INPUT.cali...
 
 Runs an aggregation query over Caliper data files and prints the result.
 
@@ -19,7 +20,12 @@ Options:
                       \"AGGREGATE count, sum(time.duration) GROUP BY function\"
                       Clauses: AGGREGATE, GROUP BY, WHERE, SELECT,
                       ORDER BY, LET, FORMAT (table|csv|json|expand|cali|flamegraph)
+                      (see docs/CALQL.md for the full language reference)
   -o, --output FILE   write the result to FILE instead of stdout
+  --threads N         aggregate with N worker threads sharing a work queue
+                      (default: available parallelism; 1 = serial; output
+                      is identical for every N)
+  --timings           report a per-worker timing breakdown on stderr
   --list-attributes   print the attribute dictionary instead of querying
   --list-globals      print dataset-global metadata instead of querying
   -h, --help          show this help
@@ -51,8 +57,26 @@ fn list_globals(ds: &caliper_format::Dataset) -> String {
     out
 }
 
+/// Print the sharded run's per-worker breakdown, mirroring
+/// `mpi-caliquery --timings`.
+fn report_timings(timings: &ShardTimings) {
+    for (id, w) in timings.workers.iter().enumerate() {
+        eprintln!(
+            "# worker {id}: read {:.6} s, process {:.6} s ({} files, {} units, {} records)",
+            w.read_s, w.process_s, w.files, w.units, w.records
+        );
+    }
+    eprintln!("# slowest worker:    {:.6} s", timings.worker_max_s());
+    eprintln!("# root merge:        {:.6} s", timings.merge_s);
+    eprintln!("# order/select/format: {:.6} s", timings.finish_s);
+    eprintln!("# critical path:     {:.6} s", timings.total_s());
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1), &["q", "query", "o", "output"]) {
+    let args = match parse_args(
+        std::env::args().skip(1),
+        &["q", "query", "o", "output", "threads"],
+    ) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("cali-query: {e}\n{USAGE}");
@@ -68,6 +92,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let query = args.get(&["q", "query"]).unwrap_or("SELECT *");
+    let threads = match args.get(&["threads"]).map(str::parse::<usize>) {
+        None => ParallelOptions::default().effective_threads(),
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("cali-query: --threads takes a positive integer\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let rendered = if args.has(&["list-attributes"]) || args.has(&["list-globals"]) {
         let ds = match read_files(&args.positional) {
@@ -82,12 +114,42 @@ fn main() -> ExitCode {
         } else {
             list_globals(&ds)
         }
+    } else if threads > 1 {
+        // Sharded aggregation over a worker pool; pass-through queries
+        // need every record in one place and drop to the serial path.
+        match parallel_query_files(query, &args.positional, &ParallelOptions::with_threads(threads))
+        {
+            Ok((result, timings)) => {
+                if args.has(&["timings"]) {
+                    report_timings(&timings);
+                }
+                result.render()
+            }
+            Err(ParallelQueryError::NotAnAggregation) => {
+                match query_files_streaming(query, &args.positional) {
+                    Ok(result) => result.render(),
+                    Err(e) => {
+                        eprintln!("cali-query: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("cali-query: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
-        // Aggregation queries stream one input file at a time (memory
-        // bounded by the largest file); pass-through queries fall back
-        // to loading everything.
+        // --threads 1: today's serial streaming path, one input file in
+        // memory at a time (memory bounded by the largest file).
+        let t0 = std::time::Instant::now();
         match query_files_streaming(query, &args.positional) {
-            Ok(result) => result.render(),
+            Ok(result) => {
+                if args.has(&["timings"]) {
+                    eprintln!("# serial read+process: {:.6} s", t0.elapsed().as_secs_f64());
+                }
+                result.render()
+            }
             Err(e) => {
                 eprintln!("cali-query: {e}");
                 return ExitCode::FAILURE;

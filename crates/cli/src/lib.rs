@@ -16,15 +16,13 @@ pub mod parallel;
 pub use args::{parse_args, CliArgs, UsageError};
 pub use parallel::{parallel_query, ParallelError, ParallelTimings};
 
-use caliper_format::{binary, CaliError, CaliReader, Dataset};
+use caliper_format::{CaliError, Dataset};
 
-/// Read and merge multiple `.cali` (text) or `.calb` (binary) files
-/// into one dataset (shared attribute dictionary and context tree).
-/// The flavor is sniffed from the stream header, not the file name.
-/// Read one `.cali`/`.calb` file into a fresh dataset.
+/// Read one `.cali` (text) or `CALB` (binary) file into a fresh
+/// dataset, sniffing the flavor from the stream header. Errors name the
+/// offending file ([`CaliError::File`]).
 pub fn read_one(path: impl AsRef<std::path::Path>) -> Result<Dataset, CaliError> {
-    let bytes = std::fs::read(path)?;
-    caliper_format::binary::from_bytes_auto(&bytes)
+    caliper_format::read_path(path)
 }
 
 /// Run an aggregation query over many files in streaming fashion: one
@@ -62,20 +60,14 @@ pub fn query_files_streaming<P: AsRef<std::path::Path>>(
 
 /// Read and merge multiple `.cali` (text) or `.calb` (binary) files
 /// into one dataset (shared attribute dictionary and context tree).
-/// The flavor is sniffed from the stream header, not the file name.
+/// The flavor is sniffed from the stream header, not the file name, and
+/// errors name the offending file ([`CaliError::File`]).
 pub fn read_files<P: AsRef<std::path::Path>>(paths: &[P]) -> Result<Dataset, CaliError> {
     let mut ds = Dataset::new();
     for path in paths {
         // One reader per file: each stream has its own id space, which
-        // the reader remaps into the shared dataset.
-        let bytes = std::fs::read(path)?;
-        if bytes.starts_with(b"CALB") {
-            ds = binary::read_binary_into(&bytes, ds)?;
-        } else {
-            let mut reader = CaliReader::into_dataset(ds);
-            reader.read_stream(std::io::BufReader::new(&bytes[..]))?;
-            ds = reader.finish();
-        }
+        // read_path_into remaps into the shared dataset.
+        ds = caliper_format::read_path_into(path, ds)?;
     }
     Ok(ds)
 }

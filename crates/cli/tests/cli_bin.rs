@@ -214,6 +214,76 @@ fn cali_query_flamegraph_format() {
 }
 
 #[test]
+fn cali_query_threads_output_is_identical() {
+    let (dir, paths) = write_inputs("threads", 6);
+    let query = "AGGREGATE count, sum(sum#time.duration), avg(sum#time.duration) \
+                 GROUP BY kernel ORDER BY kernel";
+    let run = |threads: &str| {
+        Command::new(env!("CARGO_BIN_EXE_cali-query"))
+            .arg("-q")
+            .arg(query)
+            .arg("--threads")
+            .arg(threads)
+            .args(&paths)
+            .output()
+            .expect("run cali-query")
+    };
+    let serial = run("1");
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    for threads in ["2", "4", "8"] {
+        let sharded = run(threads);
+        assert!(sharded.status.success(), "{}", String::from_utf8_lossy(&sharded.stderr));
+        assert_eq!(serial.stdout, sharded.stdout, "--threads {threads} diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_threads_reports_timings_and_bad_values() {
+    let (dir, paths) = write_inputs("threads-timings", 2);
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg("AGGREGATE count GROUP BY kernel")
+        .arg("--threads")
+        .arg("2")
+        .arg("--timings")
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("# worker 0:"), "{stderr}");
+    assert!(stderr.contains("# worker 1:"), "{stderr}");
+    assert!(stderr.contains("# critical path:"), "{stderr}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("--threads")
+        .arg("0")
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("positive integer"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_read_errors_name_the_file() {
+    let (dir, mut paths) = write_inputs("badfile", 1);
+    paths.push(dir.join("does-not-exist.cali"));
+    let out = Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg("AGGREGATE count GROUP BY kernel")
+        .args(&paths)
+        .output()
+        .expect("run cali-query");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("does-not-exist.cali"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn mpi_caliquery_rejects_passthrough() {
     let (dir, paths) = write_inputs("reject", 1);
     let out = Command::new(env!("CARGO_BIN_EXE_mpi-caliquery"))

@@ -134,7 +134,7 @@ pub struct AttrMeta {
 /// A handle to an interned attribute.
 ///
 /// Cloning is cheap (one `Arc` bump). Equality and hashing use only the
-/// numeric id, which is unique within one [`AttributeStore`].
+/// numeric id, which is unique within one [`AttributeStore`](crate::AttributeStore).
 #[derive(Debug, Clone)]
 pub struct Attribute {
     pub(crate) meta: Arc<AttrMeta>,

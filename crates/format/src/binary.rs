@@ -31,7 +31,8 @@ use caliper_data::{
 use crate::cali::CaliError;
 use crate::dataset::Dataset;
 
-const MAGIC: &[u8; 4] = b"CALB";
+/// Stream magic prefix identifying the binary `CALB` flavor.
+pub const MAGIC: &[u8; 4] = b"CALB";
 const VERSION: u8 = 1;
 
 const TAG_ATTR: u8 = 0x01;

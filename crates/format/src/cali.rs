@@ -14,7 +14,7 @@
 //! __rec=globals[,ref=<u32>]*[,attr=<u32>,data=<esc>]*         (dataset metadata)
 //! ```
 //!
-//! Immediate values are rendered with [`Value::to_string`] and parsed
+//! Immediate values are rendered with [`Value`]'s `Display` and parsed
 //! back using the attribute's declared type, so the encoding is
 //! type-faithful for int/uint/bool and shortest-roundtrip for floats.
 
@@ -41,6 +41,29 @@ pub enum CaliError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A failure attributed to a specific input file: wraps the
+    /// underlying I/O or parse error with the path, so multi-file tools
+    /// can report *which* input was bad.
+    File {
+        /// Path of the file that failed to read or parse.
+        path: std::path::PathBuf,
+        /// The underlying failure.
+        source: Box<CaliError>,
+    },
+}
+
+impl CaliError {
+    /// Attributes this error to `path` (no-op if it already names a
+    /// file, preserving the innermost attribution).
+    pub fn with_path(self, path: impl Into<std::path::PathBuf>) -> CaliError {
+        match self {
+            CaliError::File { .. } => self,
+            other => CaliError::File {
+                path: path.into(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for CaliError {
@@ -49,6 +72,9 @@ impl std::fmt::Display for CaliError {
             CaliError::Io(e) => write!(f, "i/o error: {e}"),
             CaliError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            CaliError::File { path, source } => {
+                write!(f, "{}: {source}", path.display())
             }
         }
     }

@@ -37,8 +37,10 @@ pub mod escape;
 pub mod expand;
 pub mod flamegraph;
 pub mod json;
+pub mod reader;
 pub mod table;
 
 pub use cali::{CaliError, CaliReader, CaliWriter};
 pub use dataset::Dataset;
+pub use reader::{read_path, read_path_into, RecordBatch};
 pub use table::Table;

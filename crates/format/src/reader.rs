@@ -1,0 +1,198 @@
+//! File-level reading entry points and decoded record batches.
+//!
+//! This module is the input side of the thread-parallel query engine
+//! (`caliper-query`'s `parallel` module) and of the serial CLI tools:
+//!
+//! * [`read_path`] / [`read_path_into`] — read one `.cali` (text) or
+//!   `CALB` (binary) file, auto-detecting the flavor from the stream
+//!   header, and attribute any failure to the file's path via
+//!   [`CaliError::File`];
+//! * [`RecordBatch`] / [`record_batches`] — split a decoded [`Dataset`]
+//!   into contiguous, cheaply cloneable slices of its snapshot records.
+//!   Batches share the dataset behind an `Arc`, so handing them to
+//!   worker threads copies nothing but a reference and a range.
+//!
+//! Batches preserve stream order: batch *i* holds records
+//! `[i·n, (i+1)·n)`, so concatenating all batches of a file in batch
+//! order replays the file's record stream exactly. Parallel consumers
+//! rely on this to keep their merge order — and therefore their output —
+//! independent of scheduling.
+
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+
+use caliper_data::FlatRecord;
+
+use crate::binary;
+use crate::cali::{CaliError, CaliReader};
+use crate::dataset::Dataset;
+
+/// Reads one `.cali` or `CALB` file into a fresh dataset, sniffing the
+/// format from the stream header (not the file name). Errors carry the
+/// path ([`CaliError::File`]).
+pub fn read_path(path: impl AsRef<Path>) -> Result<Dataset, CaliError> {
+    read_path_into(path, Dataset::new())
+}
+
+/// Reads one `.cali` or `CALB` file, appending into `ds` (ids are
+/// remapped into the shared dictionary, as with
+/// [`CaliReader::into_dataset`]). Errors carry the path.
+pub fn read_path_into(path: impl AsRef<Path>, ds: Dataset) -> Result<Dataset, CaliError> {
+    let path = path.as_ref();
+    let attribute = |e: CaliError| e.with_path(path);
+    let bytes = std::fs::read(path).map_err(|e| attribute(CaliError::Io(e)))?;
+    if bytes.starts_with(binary::MAGIC) {
+        binary::read_binary_into(&bytes, ds).map_err(attribute)
+    } else {
+        let mut reader = CaliReader::into_dataset(ds);
+        reader
+            .read_stream(std::io::BufReader::new(&bytes[..]))
+            .map_err(attribute)?;
+        Ok(reader.finish())
+    }
+}
+
+/// A contiguous run of one dataset's snapshot records, sharing the
+/// dataset (store, tree, records) behind an `Arc`.
+///
+/// This is the unit of work the parallel query engine distributes:
+/// cloning or sending a batch to another thread is O(1).
+#[derive(Clone, Debug)]
+pub struct RecordBatch {
+    dataset: Arc<Dataset>,
+    range: Range<usize>,
+}
+
+impl RecordBatch {
+    /// The batch covering `range` of `dataset`'s records. Panics if the
+    /// range is out of bounds.
+    pub fn new(dataset: Arc<Dataset>, range: Range<usize>) -> RecordBatch {
+        assert!(
+            range.end <= dataset.records.len(),
+            "batch range {range:?} out of bounds for {} records",
+            dataset.records.len()
+        );
+        RecordBatch { dataset, range }
+    }
+
+    /// The dataset this batch slices.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// Number of snapshot records in the batch.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True if the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Iterates the batch's snapshot records expanded to flat records
+    /// against the dataset's context tree, in stream order.
+    pub fn flat_records(&self) -> impl Iterator<Item = FlatRecord> + '_ {
+        self.dataset.records[self.range.clone()]
+            .iter()
+            .map(|r| r.unpack(&self.dataset.tree))
+    }
+}
+
+/// Splits `dataset` into batches of at most `batch_records` snapshot
+/// records, in stream order. Always returns at least one batch (an
+/// empty dataset yields one empty batch), so every input file produces
+/// a work unit even when it only carries globals.
+///
+/// The decomposition depends only on the dataset's record count and
+/// `batch_records` — never on who consumes the batches — which is what
+/// lets a parallel consumer produce scheduling-independent results.
+pub fn record_batches(dataset: Arc<Dataset>, batch_records: usize) -> Vec<RecordBatch> {
+    assert!(batch_records > 0, "batch_records must be positive");
+    let total = dataset.records.len();
+    if total == 0 {
+        return vec![RecordBatch::new(dataset, 0..0)];
+    }
+    (0..total)
+        .step_by(batch_records)
+        .map(|start| {
+            RecordBatch::new(
+                Arc::clone(&dataset),
+                start..(start + batch_records).min(total),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::{Properties, SnapshotRecord, Value, ValueType};
+
+    fn dataset_with(n: usize) -> Dataset {
+        let mut ds = Dataset::new();
+        let iter = ds.attribute("i", ValueType::Int, Properties::AS_VALUE);
+        for i in 0..n {
+            let mut rec = SnapshotRecord::new();
+            rec.push_imm(iter.id(), Value::Int(i as i64));
+            ds.push(rec);
+        }
+        ds
+    }
+
+    #[test]
+    fn batches_partition_in_order() {
+        let ds = Arc::new(dataset_with(10));
+        let batches = record_batches(Arc::clone(&ds), 4);
+        assert_eq!(batches.iter().map(RecordBatch::len).collect::<Vec<_>>(), [4, 4, 2]);
+        let iter = ds.store.find("i").unwrap();
+        let replay: Vec<i64> = batches
+            .iter()
+            .flat_map(|b| {
+                b.flat_records()
+                    .map(|r| r.get(iter.id()).unwrap().to_i64().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(replay, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_dataset_yields_one_empty_batch() {
+        let batches = record_batches(Arc::new(Dataset::new()), 128);
+        assert_eq!(batches.len(), 1);
+        assert!(batches[0].is_empty());
+    }
+
+    #[test]
+    fn read_path_reports_the_failing_file() {
+        let err = read_path("/nonexistent/dir/x.cali").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("/nonexistent/dir/x.cali"), "{text}");
+
+        let dir = std::env::temp_dir().join("caliper-reader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.cali");
+        std::fs::write(&bad, "__rec=node,id=0,attr=99,data=1\n").unwrap();
+        let err = read_path(&bad).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("bad.cali") && text.contains("undeclared"), "{text}");
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn read_path_sniffs_binary() {
+        let dir = std::env::temp_dir().join("caliper-reader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dataset_with(5);
+        let text_path = dir.join("t.cali");
+        let bin_path = dir.join("b.calb");
+        crate::cali::write_file(&ds, &text_path).unwrap();
+        crate::binary::write_file(&ds, &bin_path).unwrap();
+        assert_eq!(read_path(&text_path).unwrap().len(), 5);
+        assert_eq!(read_path(&bin_path).unwrap().len(), 5);
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+}

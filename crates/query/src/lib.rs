@@ -37,6 +37,7 @@ pub mod filter;
 pub mod lets;
 pub mod lexer;
 pub mod ops;
+pub mod parallel;
 pub mod parser;
 pub mod query;
 
@@ -45,5 +46,8 @@ pub use ast::{
     AggOp, CmpOp, Filter, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir, SortKey,
 };
 pub use ops::Reducer;
+pub use parallel::{
+    parallel_query_files, ParallelOptions, ParallelQueryError, ShardTimings, WorkerTimings,
+};
 pub use parser::{parse_query, ParseError};
 pub use query::{run_query, Pipeline, QueryResult};

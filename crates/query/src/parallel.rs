@@ -1,0 +1,509 @@
+//! Thread-parallel sharded analytical aggregation.
+//!
+//! This is the shared-memory sibling of the cross-process tree reduction
+//! (paper §IV-C): where `mpi-caliquery` distributes input files over
+//! simulated MPI ranks and reduces partial aggregations up a binomial
+//! tree, this module distributes them over a pool of worker threads in
+//! one process and folds the partials into a root [`Pipeline`]. Both
+//! lean on the same algebraic property — partial aggregation databases
+//! are mergeable ([`Aggregator::merge`](crate::Aggregator::merge)) — so
+//! the two scaling strategies compose: each rank of a distributed query
+//! could itself shard over local cores.
+//!
+//! # Design: shard and merge
+//!
+//! * **Work units.** The input decomposes into units *before* any
+//!   scheduling happens: every file is one unit, and files whose record
+//!   count exceeds [`ParallelOptions::batch_records`] split into
+//!   contiguous [`RecordBatch`]es (`caliper_format::reader`). A unit is
+//!   identified by `(file index, batch index)`. Crucially, the
+//!   decomposition is a function of the inputs alone — never of the
+//!   thread count or of runtime timing.
+//! * **Worker pool.** N workers pull units from a shared MPMC channel
+//!   (the same `crossbeam` channel substrate `mpisim` uses for rank
+//!   inboxes). A worker that decodes a large file pushes the file's
+//!   tail batches back onto the queue, so other workers help aggregate
+//!   it; the batches share the decoded dataset behind an `Arc`, so this
+//!   costs no copying.
+//! * **Private shards.** Each unit is aggregated into its own private
+//!   [`Pipeline`] (LET → WHERE → aggregate), so the hot
+//!   record-processing path takes **zero cross-thread locks**: a worker
+//!   touches only its local aggregation database, exactly like the
+//!   runtime's per-thread on-line databases (§IV-B).
+//! * **Deterministic merge.** Finished partials are sent to the calling
+//!   thread, which sorts them by unit id and merges them in ascending
+//!   order into the root pipeline, then runs the ordinary
+//!   [`finish`](Pipeline::finish) (ORDER BY → SELECT → FORMAT).
+//!
+//! # Equivalence to sequential aggregation
+//!
+//! The result is *identical for every thread count*, including 1:
+//!
+//! 1. the unit decomposition depends only on the file list and
+//!    `batch_records`;
+//! 2. each unit's partial is computed from its records in stream order,
+//!    regardless of which worker runs it;
+//! 3. partials are merged in unit order, so the root performs the same
+//!    sequence of [`Aggregator::merge`](crate::Aggregator::merge)
+//!    operations every time.
+//!
+//! Scheduling can only change *who* computes a partial and *when* —
+//! never the partial itself nor the merge order. This is why the engine
+//! merges ordered partials at the root instead of letting each worker
+//! pre-merge the units it happens to process (the ISSUE's "merge shards
+//! pairwise"): for integer reductions pre-merging would be fine
+//! (count/sum/min/max are associative and commutative), but
+//! floating-point addition is not associative, so any
+//! scheduling-dependent merge order could flip low-order bits between
+//! runs. Ordered merging buys bit-for-bit reproducibility at the cost
+//! of holding one small aggregation database per unit until the merge —
+//! databases are key-count sized (not record-count sized), so this is
+//! cheap.
+//!
+//! Against the *serial* path (`cali-cli`'s per-file pipeline fold), the
+//! output is byte-identical whenever no file exceeds `batch_records`
+//! (the default is large enough that this is the common case): both
+//! perform the same per-file aggregations and the same in-order merges.
+//! When a large file does split, the engine still produces the same
+//! bytes for every thread count — but float sums may differ from the
+//! serial path in the last unit of precision, because the file's
+//! records are folded via per-batch subtotals.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use caliper_format::reader::{self, RecordBatch};
+use caliper_format::CaliError;
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::parser::{parse_query, ParseError};
+use crate::query::{Pipeline, QueryResult};
+use crate::QuerySpec;
+
+/// Default maximum records per work unit. Files below this size are one
+/// unit each (making the engine byte-identical to the serial per-file
+/// fold); larger files split so a single huge input still parallelizes.
+pub const DEFAULT_BATCH_RECORDS: usize = 64 * 1024;
+
+/// Tuning knobs for [`parallel_query_files`].
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Worker thread count; `0` means "use available parallelism".
+    pub threads: usize,
+    /// Maximum records per work unit (see [`DEFAULT_BATCH_RECORDS`]).
+    pub batch_records: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 0,
+            batch_records: DEFAULT_BATCH_RECORDS,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Options for a fixed worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelOptions {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// The effective worker count: `threads`, or the machine's available
+    /// parallelism when `threads` is 0.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Errors from the parallel query engine.
+#[derive(Debug)]
+pub enum ParallelQueryError {
+    /// The query text does not parse.
+    Parse(ParseError),
+    /// The query has no AGGREGATE clause: a pass-through query needs
+    /// every record in one place and gains nothing from sharding — run
+    /// it on the serial path instead.
+    NotAnAggregation,
+    /// An input file failed to read or parse; the error names the file
+    /// ([`CaliError::File`]).
+    Read(CaliError),
+}
+
+impl std::fmt::Display for ParallelQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelQueryError::Parse(e) => write!(f, "query error: {e}"),
+            ParallelQueryError::NotAnAggregation => {
+                write!(f, "parallel execution requires an aggregation query")
+            }
+            ParallelQueryError::Read(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelQueryError {}
+
+impl From<ParseError> for ParallelQueryError {
+    fn from(e: ParseError) -> Self {
+        ParallelQueryError::Parse(e)
+    }
+}
+
+/// One worker's contribution to a run, for the per-worker timing
+/// breakdown (the shared-memory analogue of `ParallelTimings` in
+/// `cali-cli`).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTimings {
+    /// Seconds spent reading and decoding input files.
+    pub read_s: f64,
+    /// Seconds spent aggregating records into the worker's shards.
+    pub process_s: f64,
+    /// Files this worker read and decoded.
+    pub files: usize,
+    /// Work units (whole files or record batches) this worker aggregated.
+    pub units: usize,
+    /// Snapshot records this worker aggregated.
+    pub records: u64,
+}
+
+/// Timing breakdown of one parallel query run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTimings {
+    /// Per-worker read/process breakdown, indexed by worker id.
+    pub workers: Vec<WorkerTimings>,
+    /// Seconds the root spent merging the ordered partials.
+    pub merge_s: f64,
+    /// Seconds the root spent in ORDER BY / SELECT / FORMAT.
+    pub finish_s: f64,
+}
+
+impl ShardTimings {
+    /// The slowest worker's busy time (read + process) — the critical
+    /// path of the parallel phase.
+    pub fn worker_max_s(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.read_s + w.process_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Critical-path total: slowest worker, then merge, then finish.
+    pub fn total_s(&self) -> f64 {
+        self.worker_max_s() + self.merge_s + self.finish_s
+    }
+}
+
+/// A unit of work on the shared queue.
+enum Unit {
+    /// Read and decode a file, then aggregate its first batch (pushing
+    /// any further batches back onto the queue).
+    File { file: usize, path: PathBuf },
+    /// Aggregate a batch of an already-decoded file.
+    Batch {
+        file: usize,
+        batch: usize,
+        data: RecordBatch,
+    },
+    /// Poison pill: all units are done, exit.
+    Stop,
+}
+
+/// A finished partial: the unit id and its pipeline (or the read error
+/// for the unit's file).
+type Partial = (usize, usize, Result<Pipeline, CaliError>);
+
+/// Runs an aggregation `query` over `paths` with a pool of worker
+/// threads, returning the result and the per-worker timing breakdown.
+///
+/// The output is deterministic and independent of the worker count —
+/// see the [module docs](self) for the argument. Pass-through queries
+/// are rejected with [`ParallelQueryError::NotAnAggregation`]; on the
+/// serial path they need all records materialized anyway, so there is
+/// nothing to shard.
+pub fn parallel_query_files<P: AsRef<Path>>(
+    query: &str,
+    paths: &[P],
+    options: &ParallelOptions,
+) -> Result<(QueryResult, ShardTimings), ParallelQueryError> {
+    let spec = parse_query(query)?;
+    if !spec.is_aggregation() {
+        return Err(ParallelQueryError::NotAnAggregation);
+    }
+    let threads = options.effective_threads();
+    let batch_records = options.batch_records.max(1);
+    let spec = Arc::new(spec);
+
+    let (work_tx, work_rx) = unbounded::<Unit>();
+    let (partial_tx, partial_rx) = unbounded::<Partial>();
+    let (timing_tx, timing_rx) = unbounded::<(usize, WorkerTimings)>();
+
+    // Outstanding-unit count: seeded with one unit per file; a worker
+    // that splits a file adds the extra batches *before* finishing the
+    // file unit, so the count can only reach zero when every unit of
+    // every file is done. Whoever takes it to zero posts the poison
+    // pills that terminate the pool.
+    let outstanding = Arc::new(AtomicUsize::new(paths.len()));
+    for (file, path) in paths.iter().enumerate() {
+        let seeded = work_tx.send(Unit::File {
+            file,
+            path: path.as_ref().to_path_buf(),
+        });
+        assert!(seeded.is_ok(), "work queue cannot disconnect while seeding");
+    }
+    if paths.is_empty() {
+        for _ in 0..threads {
+            let _ = work_tx.send(Unit::Stop);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let work_rx = work_rx.clone();
+            let work_tx = work_tx.clone();
+            let partial_tx = partial_tx.clone();
+            let timing_tx = timing_tx.clone();
+            let spec = Arc::clone(&spec);
+            let outstanding = Arc::clone(&outstanding);
+            scope.spawn(move || {
+                let mut timings = WorkerTimings::default();
+                while let Ok(unit) = work_rx.recv() {
+                    match unit {
+                        Unit::Stop => break,
+                        Unit::File { file, path } => {
+                            let t0 = Instant::now();
+                            let decoded = reader::read_path(&path);
+                            timings.read_s += t0.elapsed().as_secs_f64();
+                            timings.files += 1;
+                            let outcome = match decoded {
+                                Err(e) => (file, 0, Err(e)),
+                                Ok(ds) => {
+                                    let batches =
+                                        reader::record_batches(Arc::new(ds), batch_records);
+                                    // Enqueue the tail batches before
+                                    // finishing this unit, so the
+                                    // outstanding count never dips to
+                                    // zero early.
+                                    if batches.len() > 1 {
+                                        outstanding
+                                            .fetch_add(batches.len() - 1, Ordering::SeqCst);
+                                        for (batch, data) in
+                                            batches.iter().enumerate().skip(1)
+                                        {
+                                            let _ = work_tx.send(Unit::Batch {
+                                                file,
+                                                batch,
+                                                data: data.clone(),
+                                            });
+                                        }
+                                    }
+                                    let shard =
+                                        aggregate_batch(&spec, &batches[0], &mut timings);
+                                    (file, 0, Ok(shard))
+                                }
+                            };
+                            if partial_tx.send(outcome).is_err() {
+                                break; // root gave up; stop working
+                            }
+                            finish_unit(&outstanding, &work_tx, threads);
+                        }
+                        Unit::Batch { file, batch, data } => {
+                            let shard = aggregate_batch(&spec, &data, &mut timings);
+                            if partial_tx.send((file, batch, Ok(shard))).is_err() {
+                                break;
+                            }
+                            finish_unit(&outstanding, &work_tx, threads);
+                        }
+                    }
+                }
+                let _ = timing_tx.send((worker, timings));
+            });
+        }
+
+        // The root thread keeps no senders: once every worker exits, the
+        // partial/timing channels disconnect and collection below ends.
+        drop(work_tx);
+        drop(partial_tx);
+        drop(timing_tx);
+
+        let mut partials: Vec<Partial> = partial_rx.iter().collect();
+        let mut timings = ShardTimings {
+            workers: vec![WorkerTimings::default(); threads],
+            ..Default::default()
+        };
+        for (worker, t) in timing_rx.iter() {
+            timings.workers[worker] = t;
+        }
+
+        // Deterministic root fold: ascending unit order, first error (in
+        // unit order) wins.
+        partials.sort_by_key(|(file, batch, _)| (*file, *batch));
+        let t0 = Instant::now();
+        let mut root: Option<Pipeline> = None;
+        for (_, _, partial) in partials {
+            let shard = partial.map_err(ParallelQueryError::Read)?;
+            match &mut root {
+                Some(root) => root.merge(shard),
+                None => root = Some(shard),
+            }
+        }
+        timings.merge_s = t0.elapsed().as_secs_f64();
+
+        let root = root.unwrap_or_else(|| {
+            Pipeline::new(
+                QuerySpec::clone(&spec),
+                Arc::new(caliper_data::AttributeStore::new()),
+            )
+        });
+        let t0 = Instant::now();
+        let result = root.finish();
+        timings.finish_s = t0.elapsed().as_secs_f64();
+        Ok((result, timings))
+    })
+}
+
+/// Aggregates one batch into a fresh private pipeline shard.
+fn aggregate_batch(
+    spec: &Arc<QuerySpec>,
+    batch: &RecordBatch,
+    timings: &mut WorkerTimings,
+) -> Pipeline {
+    let t0 = Instant::now();
+    let mut shard = Pipeline::new(
+        QuerySpec::clone(spec),
+        Arc::clone(&batch.dataset().store),
+    );
+    for record in batch.flat_records() {
+        shard.process(record);
+    }
+    timings.process_s += t0.elapsed().as_secs_f64();
+    timings.units += 1;
+    timings.records += batch.len() as u64;
+    shard
+}
+
+/// Marks one unit finished; the worker that takes the count to zero
+/// posts one poison pill per worker to shut the pool down.
+fn finish_unit(outstanding: &AtomicUsize, work_tx: &Sender<Unit>, threads: usize) {
+    if outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+        for _ in 0..threads {
+            let _ = work_tx.send(Unit::Stop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliper_data::{Properties, SnapshotRecord, Value, ValueType};
+    use caliper_format::{cali, Dataset};
+
+    fn write_inputs(dir: &Path, files: usize, records: usize) -> Vec<PathBuf> {
+        std::fs::create_dir_all(dir).unwrap();
+        (0..files)
+            .map(|f| {
+                let mut ds = Dataset::new();
+                let kernel = ds.attribute("kernel", ValueType::Str, Properties::NESTED);
+                let time = ds.attribute(
+                    "time",
+                    ValueType::Int,
+                    Properties::AS_VALUE | Properties::AGGREGATABLE,
+                );
+                let names = ["alpha", "beta", "gamma"];
+                for i in 0..records {
+                    let node = ds.tree.get_child(
+                        caliper_data::NODE_NONE,
+                        kernel.id(),
+                        &Value::str(names[(f + i) % names.len()]),
+                    );
+                    let mut rec = SnapshotRecord::new();
+                    rec.push_node(node);
+                    rec.push_imm(time.id(), Value::Int((i * (f + 1)) as i64));
+                    ds.push(rec);
+                }
+                let path = dir.join(format!("rank{f}.cali"));
+                cali::write_file(&ds, &path).unwrap();
+                path
+            })
+            .collect()
+    }
+
+    const QUERY: &str = "AGGREGATE count, sum(time), min(time), max(time) GROUP BY kernel";
+
+    #[test]
+    fn thread_counts_agree_bytewise() {
+        let dir = std::env::temp_dir().join("caliper-parallel-test-agree");
+        let paths = write_inputs(&dir, 5, 40);
+        let mut renders = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            let (result, _) = parallel_query_files(
+                QUERY,
+                &paths,
+                &ParallelOptions::with_threads(threads),
+            )
+            .unwrap();
+            renders.push(result.render());
+        }
+        assert!(renders.windows(2).all(|w| w[0] == w[1]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_splitting_is_thread_count_independent() {
+        let dir = std::env::temp_dir().join("caliper-parallel-test-batch");
+        let paths = write_inputs(&dir, 2, 100);
+        let opts = |threads| ParallelOptions {
+            threads,
+            batch_records: 7, // force many batches per file
+        };
+        let (one, _) = parallel_query_files(QUERY, &paths, &opts(1)).unwrap();
+        let (four, _) = parallel_query_files(QUERY, &paths, &opts(4)).unwrap();
+        assert_eq!(one.render(), four.render());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_errors_name_the_file() {
+        let dir = std::env::temp_dir().join("caliper-parallel-test-err");
+        let mut paths = write_inputs(&dir, 2, 10);
+        paths.push(dir.join("missing.cali"));
+        let err =
+            parallel_query_files(QUERY, &paths, &ParallelOptions::with_threads(4)).unwrap_err();
+        assert!(err.to_string().contains("missing.cali"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pass_through_queries_are_rejected() {
+        let err = parallel_query_files(
+            "SELECT kernel FORMAT csv",
+            &Vec::<PathBuf>::new(),
+            &ParallelOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParallelQueryError::NotAnAggregation));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let (result, timings) = parallel_query_files(
+            QUERY,
+            &Vec::<PathBuf>::new(),
+            &ParallelOptions::with_threads(2),
+        )
+        .unwrap();
+        assert!(result.records.is_empty());
+        assert_eq!(timings.workers.len(), 2);
+    }
+}

@@ -1,7 +1,7 @@
 //! Process-global annotation API: `mark_begin` / `mark_end` exactly as
 //! in the paper's Listing 1.
 //!
-//! The explicit [`ThreadScope`](crate::ThreadScope) handles give full
+//! The explicit [`ThreadScope`] handles give full
 //! control, but instrumenting existing code is easier with implicit
 //! state — which is what Caliper's C/C++ annotation macros provide.
 //! This module keeps one process-global [`Caliper`] and a thread-local

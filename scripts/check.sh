@@ -1,0 +1,9 @@
+#!/bin/sh
+# Full local gate: release build, test suite, and a rustdoc pass with
+# warnings (missing_docs among them) promoted to errors.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

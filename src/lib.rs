@@ -10,7 +10,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`data`] | flexible key:value data model, context tree, records |
-//! | [`format`] | `.cali` stream codec, dataset, output formatters |
+//! | [`mod@format`] | `.cali` stream codec, dataset, output formatters |
 //! | [`query`] | the aggregation description language + streaming engine |
 //! | [`runtime`] | blackboard, annotation API, snapshots, services |
 //! | [`mpi`] | simulated MPI substrate (threads as ranks) |

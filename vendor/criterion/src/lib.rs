@@ -1,0 +1,258 @@
+//! In-workspace stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment for this repository is fully offline, so
+//! external crates cannot be downloaded from crates.io. This crate
+//! provides the subset of the criterion API the workspace's benches use
+//! — `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, sample_size, bench_function, finish}`,
+//! `BenchmarkId::new` and `Bencher::iter` — backed by a simple
+//! wall-clock measurement loop instead of criterion's statistical
+//! machinery.
+//!
+//! Measurement model: each `Bencher::iter` target gets a short warm-up,
+//! then runs for a fixed time budget (`CRITERION_MEASURE_MS` env var,
+//! default 120 ms) or at least three iterations, whichever is longer.
+//! The mean ns/iteration and derived throughput are printed to stdout in
+//! a stable, greppable one-line format:
+//!
+//! ```text
+//! bench  group/function/param  1234 ns/iter  (81.0 Melem/s)
+//! ```
+//!
+//! A positional command-line filter (as passed by
+//! `cargo bench -- <substr>`) restricts which benchmarks run, matching
+//! by substring on the full `group/function` id.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver. One per bench binary, created by the
+/// `criterion_group!` expansion.
+pub struct Criterion {
+    filter: Option<String>,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--` to the
+        // bench binary; cargo itself also passes `--bench`. Take the
+        // first non-flag argument as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120);
+        Criterion {
+            filter,
+            measure: Duration::from_millis(measure_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().full();
+        run_one(self, None, &id, f);
+        self
+    }
+}
+
+/// Identifies one benchmark: a function name plus an optional
+/// parameter rendered into the id (`function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` parameterized by `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    fn full(&self) -> String {
+        self.id.clone()
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes its run by a
+    /// time budget rather than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures `f` under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().full());
+        let throughput = self.throughput;
+        run_one(self.criterion, throughput, &id, f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(criterion: &Criterion, throughput: Option<Throughput>, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        measure: criterion.measure,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench  {id}  (no measurement — Bencher::iter never called)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format_rate(n as f64 * 1e9 / ns, "elem/s"),
+        Throughput::Bytes(n) => format_rate(n as f64 * 1e9 / ns, "B/s"),
+    });
+    match rate {
+        Some(rate) => println!("bench  {id}  {}  ({rate})", format_ns(ns)),
+        None => println!("bench  {id}  {}", format_ns(ns)),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+fn format_rate(per_s: f64, unit: &str) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} G{unit}", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M{unit}", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} k{unit}", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} {unit}")
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Bencher::iter) runs and
+/// times the measured routine.
+pub struct Bencher {
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the measurement budget is
+    /// spent (at least 3 iterations), recording the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if (elapsed >= self.measure && iters >= 3) || iters >= 10_000_000 {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function invoking each target with a
+/// fresh default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,289 @@
+//! An unbounded MPMC FIFO channel, API-compatible with
+//! `crossbeam::channel` for the operations this workspace uses.
+//!
+//! Both [`Sender`] and [`Receiver`] are cloneable; a channel counts its
+//! live endpoints so that `recv` on an empty channel with no remaining
+//! senders reports disconnection (and symmetrically for `send` with no
+//! remaining receivers). This is exactly the protocol `mpisim` relies on
+//! to detect ranks shutting down, and what lets the parallel query
+//! engine's workers terminate cleanly when the work queue is drained and
+//! the producer side is dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+/// Carries the unsent value, like the real crossbeam type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain connected.
+    Empty,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a value arrives or the last sender disconnects.
+    ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The sending half of a channel. Cloneable; `Send + Sync` so it can be
+/// shared from an `Arc` across threads (as `mpisim` does with its inbox
+/// table).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloneable — multiple worker threads
+/// may pull from the same queue, each value going to exactly one of them.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded FIFO channel, returning its two endpoints.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`. Never blocks (the channel is unbounded); fails
+    /// only if every [`Receiver`] has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.lock();
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake all blocked receivers so they observe the disconnect.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next value, blocking while the channel is empty.
+    /// Returns [`RecvError`] once the channel is empty *and* every
+    /// sender has disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking variant of [`recv`](Receiver::recv).
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.lock();
+        match state.queue.pop_front() {
+            Some(value) => Ok(value),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// A blocking iterator over received values; ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().receivers -= 1;
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_reports_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_reports_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn mpmc_distributes_all_values() {
+        let (tx, rx) = unbounded::<usize>();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<usize> = workers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = unbounded::<i32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(42));
+    }
+}

@@ -1,0 +1,19 @@
+//! In-workspace stand-in for the `crossbeam` crate.
+//!
+//! The build environment for this repository is fully offline, so external
+//! crates cannot be downloaded from crates.io. This crate re-implements the
+//! subset of `crossbeam` the workspace uses: [`channel`] — an unbounded
+//! multi-producer **multi-consumer** FIFO channel with disconnect
+//! detection, the substrate for both the `mpisim` rank inboxes and the
+//! shared work queue of the thread-parallel query engine.
+//!
+//! The implementation is a `Mutex<VecDeque>` + `Condvar` queue. That is
+//! deliberately boring: correctness and API fidelity matter here, not the
+//! lock-free performance of the real crate — channel operations are not on
+//! any hot path in this workspace (records are aggregated in worker-local
+//! databases; channels only carry file-sized work units and final
+//! results).
+
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,156 @@
+//! In-workspace stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment for this repository is fully offline, so external
+//! crates cannot be downloaded from crates.io. This crate re-implements
+//! the subset of the proptest API that the workspace's property tests
+//! use, with the same names and shapes:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, plus the
+//!   built-in strategies the tests reach for: integer/float/bool
+//!   [`any`](arbitrary::any), integer `Range`s, regex-subset string
+//!   literals, tuples, [`Just`](strategy::Just),
+//!   `prop_oneof!` unions and [`collection::vec`];
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`) and
+//!   the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` family;
+//! * [`ProptestConfig`](test_runner::ProptestConfig) with `with_cases`.
+//!
+//! What it deliberately does **not** implement: shrinking, failure
+//! persistence, and `forall` edge-case biasing. Failures report the
+//! generated case verbatim (values are regenerable — the RNG is seeded
+//! deterministically from the test name, so a failing case reproduces on
+//! every run and on every machine).
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` works after
+/// `use proptest::prelude::*`, as with the real crate.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the
+/// current case returns an error (reported with the test name and case
+/// number) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {{
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Builds a [`Union`](strategy::Union) strategy that picks one of the
+/// given strategies uniformly for each generated value. All arms must
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn` inside the block runs its body for
+/// `ProptestConfig::cases` generated inputs. Accepts an optional leading
+/// `#![proptest_config(expr)]` attribute, doc comments/attributes on each
+/// function (including `#[test]`), and `pattern in strategy` argument
+/// bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body;
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

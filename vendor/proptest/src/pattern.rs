@@ -1,0 +1,233 @@
+//! Generation of strings from the small regex subset proptest accepts as
+//! string strategies.
+//!
+//! Supported syntax (everything the workspace's tests use, and the
+//! obvious neighbors): literal characters, escaped literals (`\.`),
+//! character classes `[..]` with ranges and literal `-` at the edges,
+//! the printable-character class `\PC`, and the quantifiers `*`, `+`,
+//! `?`, `{n}` and `{m,n}`. Alternation and grouping are not implemented.
+
+use crate::test_runner::TestRng;
+
+/// Upper repetition bound substituted for the open-ended `*` / `+`
+/// quantifiers.
+const STAR_MAX: usize = 16;
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Inclusive codepoint ranges; a single literal is a 1-wide range.
+    Ranges(Vec<(char, char)>),
+    /// `\PC`: any printable character (no controls, includes non-ASCII).
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// Panics on syntax this subset does not understand — a test would fail
+/// immediately and loudly rather than silently generating wrong inputs.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let reps = rng.range_inclusive(atom.min, atom.max);
+        for _ in 0..reps {
+            out.push(sample(&atom.set, rng));
+        }
+    }
+    out
+}
+
+/// A few non-ASCII printable characters mixed into `\PC` output so that
+/// escaping/round-trip tests see multibyte UTF-8.
+const UNICODE_SAMPLES: &[char] = &['é', 'ß', 'α', 'Ω', '→', '☃', '中', '文', '𝄞', '😀'];
+
+fn sample(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Printable => {
+            if rng.below(8) == 0 {
+                UNICODE_SAMPLES[rng.below(UNICODE_SAMPLES.len())]
+            } else {
+                // Printable ASCII: 0x20 ..= 0x7E.
+                char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ascii")
+            }
+        }
+        CharSet::Ranges(ranges) => {
+            // Pick a range uniformly, then a character within it. Exact
+            // per-character uniformity is not needed for test inputs.
+            let (lo, hi) = ranges[rng.below(ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            char::from_u32(lo as u32 + (rng.next_u64() % span as u64) as u32)
+                .expect("class range stays in valid scalar values")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // \PC — the printable-character class.
+                        assert!(
+                            chars.get(i + 1) == Some(&'C'),
+                            "unsupported escape in pattern {pattern:?}"
+                        );
+                        i += 2;
+                        CharSet::Printable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        CharSet::Ranges(vec![(c, c)])
+                    }
+                    None => panic!("dangling backslash in pattern {pattern:?}"),
+                }
+            }
+            c => {
+                assert!(
+                    !"(){}*+?|".contains(c),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                CharSet::Ranges(vec![(c, c)])
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+/// Parses the body of a `[...]` class starting at `start` (just past the
+/// `[`); returns the set and the index just past the closing `]`.
+fn parse_class(pattern: &str, chars: &[char], start: usize) -> (CharSet, usize) {
+    let mut ranges = Vec::new();
+    let mut i = start;
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    loop {
+        match chars.get(i) {
+            None => panic!("unterminated class in pattern {pattern:?}"),
+            Some(']') => return (CharSet::Ranges(ranges), i + 1),
+            Some(&c) => {
+                let c = if c == '\\' {
+                    i += 1;
+                    *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling backslash in pattern {pattern:?}"))
+                } else {
+                    c
+                };
+                // `x-y` is a range unless the `-` is the last character
+                // before `]` (then both are literals).
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+                    let hi = chars[i + 2];
+                    assert!(c <= hi, "inverted range in pattern {pattern:?}");
+                    ranges.push((c, hi));
+                    i += 3;
+                } else {
+                    ranges.push((c, c));
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses an optional quantifier at `i`; returns `(min, max, next_index)`.
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, STAR_MAX, i + 1),
+        Some('+') => (1, STAR_MAX, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("quantifier lower bound"),
+                    hi.parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::from_seed(7);
+        (0..200).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_range_and_quantifier() {
+        for s in gen_many("[a-z][a-z0-9._]{0,15}") {
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s.len() <= 16);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".,_".contains(c) || c == '.'));
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let all = gen_many("\\PC*");
+        assert!(all.iter().any(|s| s.is_empty()));
+        assert!(all.iter().any(|s| !s.is_ascii()));
+        for s in &all {
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for s in gen_many("[a-zA-Z0-9_./ -]{0,24}") {
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_./ -".contains(c)));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_covers_printable_ascii() {
+        for s in gen_many("[ -~]{0,32}") {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            assert!(s.len() <= 32);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The glob-import surface: `use proptest::prelude::*;` brings in the
+//! [`Strategy`] trait, the common constructors, the config type, the
+//! `prop` namespace and all the macros — matching the real crate.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

@@ -1,0 +1,105 @@
+//! Test-runner support types: configuration, the deterministic RNG, and
+//! the case-failure error type.
+
+/// Per-test configuration. Only the field the workspace uses (`cases`)
+/// is modeled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases (the only constructor the
+    /// real crate's users commonly need).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Defaults to 128 cases, overridable with the `PROPTEST_CASES`
+    /// environment variable (same knob as the real crate).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128);
+        ProptestConfig { cases }
+    }
+}
+
+/// Error carried out of a failing property-test case by the
+/// `prop_assert!` family.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A small, fast, deterministic RNG (SplitMix64). Seeded from the test
+/// name so every test gets an independent but fully reproducible stream:
+/// a failure reproduces identically on every run and machine.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then a fixed tweak so short names do not
+        // yield tiny states.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: h ^ 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Seeds the RNG from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (public domain, Sebastiano Vigna).
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+}
