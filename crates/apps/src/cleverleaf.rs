@@ -329,7 +329,7 @@ mod tests {
         let mut total: std::collections::HashMap<String, f64> = Default::default();
         for ds in &datasets {
             let result = run_query(
-                &ds,
+                ds,
                 "AGGREGATE sum(sum#time.duration) WHERE mpi.function GROUP BY mpi.function",
             )
             .unwrap();

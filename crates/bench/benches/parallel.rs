@@ -61,6 +61,7 @@ fn bench_shard_merge(c: &mut Criterion) {
     let options = ParallelOptions {
         threads: 4,
         batch_records: 64,
+        ..Default::default()
     };
     group.bench_function(BenchmarkId::new("many_partials", "batch64"), |b| {
         b.iter(|| parallel_query_files(black_box(QUERY), &paths, &options).unwrap())

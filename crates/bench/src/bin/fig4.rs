@@ -19,15 +19,61 @@
 //! The threaded `mpi-caliquery` engine is also run at each point to
 //! verify that the parallel result equals the sequential one.
 //!
-//! Usage: `fig4 [--quick] [--max-np N]`
+//! With `--kill RANK`, the run finishes with a failure-injection
+//! check: the same parallel query executed under a [`FaultPlan`] that
+//! kills the given (non-root) rank at its first communication op. The
+//! resilient tree reduction routes around the dead subtree; the harness
+//! reports the reduction coverage (which ranks' contributions made it)
+//! and verifies the merged result equals a serial aggregation over
+//! exactly the surviving ranks' files.
+//!
+//! Usage: `fig4 [--quick] [--max-np N] [--kill RANK]`
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use cali_cli::{parallel_query, read_files};
-use caliper_query::{parse_query, Pipeline};
+use cali_cli::{parallel_query, parallel_query_resilient, read_files};
+use caliper_query::{parse_query, run_query, Pipeline};
 use miniapps::paradis::{self, ParaDisParams, EVALUATION_QUERY};
+use mpisim::{FaultPlan, ResilienceOptions};
+
+/// Run the fault-injected cross-process reduction at `np` ranks, report
+/// coverage, and check the survivors-only equality.
+fn failure_injection_check(paths: &[PathBuf], np: usize, victim: usize) {
+    assert!(
+        victim > 0 && victim < np,
+        "--kill takes a non-root rank below np (got {victim}, np {np})"
+    );
+    eprintln!();
+    eprintln!("# failure injection: killing rank {victim} at its first comm op, np = {np}");
+    let per_rank: Vec<Vec<PathBuf>> = paths[..np].iter().map(|p| vec![p.clone()]).collect();
+    let (result, report) = parallel_query_resilient(
+        EVALUATION_QUERY,
+        per_rank,
+        FaultPlan::new().kill(victim, 0),
+        ResilienceOptions::default(),
+    )
+    .expect("resilient parallel query");
+    eprintln!(
+        "# reduction coverage: {}/{} ranks included; lost subtree: {:?}",
+        report.included.len(),
+        np,
+        report.lost
+    );
+    let survivor_paths: Vec<PathBuf> = report.included.iter().map(|&r| paths[r].clone()).collect();
+    let ds = read_files(&survivor_paths).expect("read survivor files");
+    let serial = run_query(&ds, EVALUATION_QUERY).expect("serial reference query");
+    assert_eq!(
+        serial.to_table().render(),
+        result.to_table().render(),
+        "resilient result must equal a serial aggregation over the surviving ranks"
+    );
+    eprintln!(
+        "# resilient result matches the serial aggregation over survivors ({} output records)",
+        result.records.len()
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,6 +84,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 16 } else { 256 });
+    let kill: Option<usize> = args
+        .iter()
+        .position(|a| a == "--kill")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
 
     let dir = std::env::temp_dir().join(format!("caliper-fig4-{}", std::process::id()));
     let params = ParaDisParams::default();
@@ -112,6 +163,10 @@ fn main() {
             result.records.len()
         );
         np *= 2;
+    }
+
+    if let Some(victim) = kill {
+        failure_injection_check(&paths, max_np, victim);
     }
 
     std::fs::remove_dir_all(&dir).ok();

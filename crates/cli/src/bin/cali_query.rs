@@ -8,8 +8,12 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use cali_cli::{parse_args, query_files_streaming, read_files};
-use caliper_query::{parallel_query_files, ParallelOptions, ParallelQueryError, ShardTimings};
+use cali_cli::{parse_args, query_files_streaming_with, read_files_reported};
+use caliper_format::{ReadPolicy, ReadReport};
+use caliper_query::{
+    parallel_query_files, ParallelOptions, ParallelQueryError, QueryResult, ShardTimings,
+    OVERFLOW_KEY,
+};
 
 const USAGE: &str = "usage: cali-query [-q QUERY] [-o FILE] [--threads N] INPUT.cali...
 
@@ -25,6 +29,15 @@ Options:
   --threads N         aggregate with N worker threads sharing a work queue
                       (default: available parallelism; 1 = serial; output
                       is identical for every N)
+  --lenient           skip corrupt records instead of aborting; a per-file
+                      summary of skipped work is printed on stderr
+                      (opening a missing file is still an error)
+  --max-errors N      like --lenient, but give up on a file after
+                      skipping more than N corrupt records
+  --max-groups N      cap the aggregation database at N groups; once at
+                      capacity, records with new keys fold into a single
+                      \"__overflow__\" bucket (memory stays bounded, totals
+                      stay exact, output stays identical for every --threads)
   --timings           report a per-worker timing breakdown on stderr
   --list-attributes   print the attribute dictionary instead of querying
   --list-globals      print dataset-global metadata instead of querying
@@ -72,10 +85,34 @@ fn report_timings(timings: &ShardTimings) {
     eprintln!("# critical path:     {:.6} s", timings.total_s());
 }
 
+/// Print the per-file skipped-work summaries for every file the lenient
+/// reader had to repair, so dropped data is loud even when the run
+/// succeeds.
+fn report_skipped(reports: &[ReadReport]) {
+    for report in reports {
+        if !report.is_clean() {
+            eprintln!("cali-query: {}", report.summary());
+        }
+    }
+}
+
+/// Print the overflow-bucket summary when `--max-groups` evicted work
+/// into the `__overflow__` row.
+fn report_overflow(result: &QueryResult, max_groups: Option<usize>) {
+    if result.overflow_records > 0 {
+        eprintln!(
+            "cali-query: aggregation capped at {} groups; {} records folded into the \"{}\" bucket",
+            max_groups.unwrap_or(0),
+            result.overflow_records,
+            OVERFLOW_KEY
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(
         std::env::args().skip(1),
-        &["q", "query", "o", "output", "threads"],
+        &["q", "query", "o", "output", "threads", "max-errors", "max-groups"],
     ) {
         Ok(args) => args,
         Err(e) => {
@@ -100,10 +137,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let policy = match args.get(&["max-errors"]).map(str::parse::<u64>) {
+        Some(Ok(n)) => ReadPolicy::Lenient { max_errors: n },
+        Some(Err(_)) => {
+            eprintln!("cali-query: --max-errors takes a non-negative integer\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        None if args.has(&["lenient"]) => ReadPolicy::lenient(),
+        None => ReadPolicy::Strict,
+    };
+    let max_groups = match args.get(&["max-groups"]).map(str::parse::<usize>) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(n),
+        Some(_) => {
+            eprintln!("cali-query: --max-groups takes a positive integer\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let rendered = if args.has(&["list-attributes"]) || args.has(&["list-globals"]) {
-        let ds = match read_files(&args.positional) {
-            Ok(ds) => ds,
+        let ds = match read_files_reported(&args.positional, policy) {
+            Ok((ds, reports)) => {
+                report_skipped(&reports);
+                ds
+            }
             Err(e) => {
                 eprintln!("cali-query: {e}");
                 return ExitCode::FAILURE;
@@ -117,17 +174,24 @@ fn main() -> ExitCode {
     } else if threads > 1 {
         // Sharded aggregation over a worker pool; pass-through queries
         // need every record in one place and drop to the serial path.
-        match parallel_query_files(query, &args.positional, &ParallelOptions::with_threads(threads))
-        {
+        let options = ParallelOptions::with_threads(threads)
+            .with_read_policy(policy)
+            .with_max_groups(max_groups);
+        match parallel_query_files(query, &args.positional, &options) {
             Ok((result, timings)) => {
+                report_skipped(&timings.reports);
+                report_overflow(&result, max_groups);
                 if args.has(&["timings"]) {
                     report_timings(&timings);
                 }
                 result.render()
             }
             Err(ParallelQueryError::NotAnAggregation) => {
-                match query_files_streaming(query, &args.positional) {
-                    Ok(result) => result.render(),
+                match query_files_streaming_with(query, &args.positional, policy, max_groups) {
+                    Ok((result, reports)) => {
+                        report_skipped(&reports);
+                        result.render()
+                    }
                     Err(e) => {
                         eprintln!("cali-query: {e}");
                         return ExitCode::FAILURE;
@@ -143,8 +207,10 @@ fn main() -> ExitCode {
         // --threads 1: today's serial streaming path, one input file in
         // memory at a time (memory bounded by the largest file).
         let t0 = std::time::Instant::now();
-        match query_files_streaming(query, &args.positional) {
-            Ok(result) => {
+        match query_files_streaming_with(query, &args.positional, policy, max_groups) {
+            Ok((result, reports)) => {
+                report_skipped(&reports);
+                report_overflow(&result, max_groups);
                 if args.has(&["timings"]) {
                     eprintln!("# serial read+process: {:.6} s", t0.elapsed().as_secs_f64());
                 }

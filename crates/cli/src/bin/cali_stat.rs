@@ -21,7 +21,6 @@ Options:
   -h, --help   show this help
 ";
 
-#[derive(Default)]
 struct AttrStats {
     occurrences: u64,
     numeric_min: f64,
@@ -31,12 +30,15 @@ struct AttrStats {
     distinct: std::collections::HashSet<String>,
 }
 
-impl AttrStats {
-    fn new() -> AttrStats {
+impl Default for AttrStats {
+    fn default() -> AttrStats {
         AttrStats {
+            occurrences: 0,
             numeric_min: f64::INFINITY,
             numeric_max: f64::NEG_INFINITY,
-            ..Default::default()
+            numeric_sum: 0.0,
+            numeric_n: 0,
+            distinct: Default::default(),
         }
     }
 }
@@ -75,7 +77,7 @@ fn main() -> ExitCode {
         entries_total += compressed as u64;
         expanded_total += flat.len() as u64;
         for (attr, value) in flat.pairs() {
-            let s = stats.entry(*attr).or_insert_with(AttrStats::new);
+            let s = stats.entry(*attr).or_default();
             s.occurrences += 1;
             if let Some(v) = match value {
                 caliper_data::Value::Str(_) => None,

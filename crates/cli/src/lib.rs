@@ -14,9 +14,11 @@ pub mod args;
 pub mod parallel;
 
 pub use args::{parse_args, CliArgs, UsageError};
-pub use parallel::{parallel_query, ParallelError, ParallelTimings};
+pub use parallel::{
+    parallel_query, parallel_query_resilient, ParallelError, ParallelTimings, ResilientReport,
+};
 
-use caliper_format::{CaliError, Dataset};
+use caliper_format::{CaliError, Dataset, ReadPolicy, ReadReport};
 
 /// Read one `.cali` (text) or `CALB` (binary) file into a fresh
 /// dataset, sniffing the flavor from the stream header. Errors name the
@@ -36,16 +38,34 @@ pub fn query_files_streaming<P: AsRef<std::path::Path>>(
     query: &str,
     paths: &[P],
 ) -> Result<caliper_query::QueryResult, Box<dyn std::error::Error>> {
+    query_files_streaming_with(query, paths, ReadPolicy::Strict, None).map(|(result, _)| result)
+}
+
+/// [`query_files_streaming`] with a read policy and an aggregation
+/// capacity: files are decoded under `policy` (per-file [`ReadReport`]s
+/// come back alongside the result, in input order) and every pipeline —
+/// per-file shards and the merged root alike — carries the `max_groups`
+/// cap, so serial runs bound memory and overflow identically to the
+/// thread-parallel engine.
+pub fn query_files_streaming_with<P: AsRef<std::path::Path>>(
+    query: &str,
+    paths: &[P],
+    policy: ReadPolicy,
+    max_groups: Option<usize>,
+) -> Result<(caliper_query::QueryResult, Vec<ReadReport>), Box<dyn std::error::Error>> {
     let spec = caliper_query::parse_query(query)?;
     if !spec.is_aggregation() {
-        let ds = read_files(paths)?;
-        return Ok(caliper_query::run_query(&ds, query)?);
+        let (ds, reports) = read_files_reported(paths, policy)?;
+        return Ok((caliper_query::run_query(&ds, query)?, reports));
     }
+    let mut reports = Vec::with_capacity(paths.len());
     let mut acc: Option<caliper_query::Pipeline> = None;
     for path in paths {
-        let ds = read_one(path)?;
+        let (ds, report) = caliper_format::read_path_reported(path, policy)?;
+        reports.push(report);
         let mut pipeline =
-            caliper_query::Pipeline::new(spec.clone(), std::sync::Arc::clone(&ds.store));
+            caliper_query::Pipeline::new(spec.clone(), std::sync::Arc::clone(&ds.store))
+                .with_max_groups(max_groups);
         pipeline.process_dataset(&ds);
         match &mut acc {
             Some(root) => root.merge(pipeline),
@@ -54,8 +74,9 @@ pub fn query_files_streaming<P: AsRef<std::path::Path>>(
     }
     let acc = acc.unwrap_or_else(|| {
         caliper_query::Pipeline::new(spec, std::sync::Arc::new(Default::default()))
+            .with_max_groups(max_groups)
     });
-    Ok(acc.finish())
+    Ok((acc.finish(), reports))
 }
 
 /// Read and merge multiple `.cali` (text) or `.calb` (binary) files
@@ -63,11 +84,23 @@ pub fn query_files_streaming<P: AsRef<std::path::Path>>(
 /// The flavor is sniffed from the stream header, not the file name, and
 /// errors name the offending file ([`CaliError::File`]).
 pub fn read_files<P: AsRef<std::path::Path>>(paths: &[P]) -> Result<Dataset, CaliError> {
+    read_files_reported(paths, ReadPolicy::Strict).map(|(ds, _)| ds)
+}
+
+/// [`read_files`] under a [`ReadPolicy`], returning the per-file
+/// [`ReadReport`]s (input order) alongside the merged dataset.
+pub fn read_files_reported<P: AsRef<std::path::Path>>(
+    paths: &[P],
+    policy: ReadPolicy,
+) -> Result<(Dataset, Vec<ReadReport>), CaliError> {
     let mut ds = Dataset::new();
+    let mut reports = Vec::with_capacity(paths.len());
     for path in paths {
         // One reader per file: each stream has its own id space, which
-        // read_path_into remaps into the shared dataset.
-        ds = caliper_format::read_path_into(path, ds)?;
+        // the reader remaps into the shared dataset.
+        let (merged, report) = caliper_format::read_path_into_reported(path, ds, policy)?;
+        ds = merged;
+        reports.push(report);
     }
-    Ok(ds)
+    Ok((ds, reports))
 }

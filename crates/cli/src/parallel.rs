@@ -19,7 +19,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use caliper_query::{parse_query, ParseError, Pipeline, QueryResult};
-use mpisim::{gather, Comm};
+use mpisim::{
+    gather, reduce_tree_resilient, Comm, FaultPlan, ReduceCoverage, ResilienceOptions,
+};
 
 use crate::read_files;
 
@@ -114,7 +116,7 @@ pub fn parallel_query(
         let mut level = 0usize;
         let mut mine = Some(pipeline);
         while step < size {
-            if rank % (2 * step) == 0 {
+            if rank.is_multiple_of(2 * step) {
                 let partner = rank + step;
                 if partner < size {
                     let theirs: Pipeline =
@@ -176,6 +178,85 @@ pub fn parallel_query(
     ))
 }
 
+/// Outcome of a fault-injected parallel query: the merged result from
+/// rank 0 plus the coverage report of the resilient reduction.
+#[derive(Debug)]
+pub struct ResilientReport {
+    /// Ranks whose local aggregations are folded into the result.
+    pub included: Vec<usize>,
+    /// Ranks whose contributions were lost to the injected faults
+    /// (dead, or stranded behind a dead ancestor in the tree).
+    pub lost: Vec<usize>,
+}
+
+impl ResilientReport {
+    fn from_coverage(c: ReduceCoverage) -> ResilientReport {
+        ResilientReport {
+            included: c.included,
+            lost: c.lost,
+        }
+    }
+}
+
+/// Like [`parallel_query`], but executed under a scripted
+/// [`FaultPlan`] with the fault-tolerant tree reduction: dead ranks are
+/// routed around instead of deadlocking the run, and the report states
+/// exactly which ranks' data the result covers.
+///
+/// Differences from the fault-free engine, both deliberate:
+///
+/// * no timing gather — a collective over all ranks would hang on the
+///   dead ones; resilience and timing harvesting don't mix;
+/// * the result covers `report.included` only. It equals a serial
+///   aggregation over exactly those ranks' files (pipeline merge is
+///   associative, and the tree merges survivors in rank order).
+pub fn parallel_query_resilient(
+    query: &str,
+    files_per_rank: Vec<Vec<PathBuf>>,
+    plan: FaultPlan,
+    opts: ResilienceOptions,
+) -> Result<(QueryResult, ResilientReport), ParallelError> {
+    let spec = parse_query(query).map_err(ParallelError::Parse)?;
+    if !spec.is_aggregation() {
+        return Err(ParallelError::NotAnAggregation);
+    }
+    let size = files_per_rank.len().max(1);
+    let spec = Arc::new(spec);
+    let files = Arc::new(files_per_rank);
+
+    let results = mpisim::run_with_faults(size, plan, move |mut comm: Comm| {
+        let rank = comm.rank();
+        let ds = read_files(&files[rank]).map_err(|e| e.to_string())?;
+        let mut pipeline = Pipeline::new((*spec).clone(), Arc::clone(&ds.store));
+        pipeline.process_dataset(&ds);
+        reduce_tree_resilient(
+            &mut comm,
+            pipeline,
+            |mut acc, incoming| {
+                acc.merge(incoming);
+                acc
+            },
+            &opts,
+        )
+        .map_err(|e| e.to_string())
+    });
+
+    // Rank 0 is never scripted to die in a meaningful run; if it was,
+    // there is no result to salvage.
+    let root = results
+        .into_iter()
+        .next()
+        .expect("world has at least one rank")
+        .ok_or_else(|| ParallelError::Io("rank 0 was killed by the fault plan".to_string()))?;
+    let (pipeline, coverage) = root
+        .map_err(ParallelError::Io)?
+        .expect("rank 0 is the reduction root");
+    Ok((
+        pipeline.finish(),
+        ResilientReport::from_coverage(coverage),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +313,50 @@ mod tests {
         let (result, _) = parallel_query(query, per_rank).unwrap();
         // One output record per input rank.
         assert_eq!(result.records.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_query_covers_exactly_the_surviving_ranks() {
+        let dir = temp_dir("resilient");
+        let params = ParaDisParams {
+            iterations: 2,
+            ..Default::default()
+        };
+        let paths = paradis::write_files(&params, 4, &dir).unwrap();
+        let per_rank: Vec<Vec<PathBuf>> = paths.iter().map(|p| vec![p.clone()]).collect();
+        let query = "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel";
+
+        // Kill rank 2 at its first comm op (receiving rank 3's partial):
+        // the {2, 3} subtree is lost, ranks 0 and 1 survive.
+        let opts = ResilienceOptions {
+            timeout: std::time::Duration::from_millis(150),
+            retries: 1,
+            backoff: std::time::Duration::from_millis(50),
+        };
+        let (result, report) =
+            parallel_query_resilient(query, per_rank, FaultPlan::new().kill(2, 0), opts).unwrap();
+        assert_eq!(report.lost, vec![2, 3]);
+        assert_eq!(report.included, vec![0, 1]);
+
+        // The merged result equals a serial aggregation over exactly
+        // the surviving ranks' files.
+        let survivor_paths: Vec<PathBuf> =
+            report.included.iter().map(|&r| paths[r].clone()).collect();
+        let ds = read_files(&survivor_paths).unwrap();
+        let serial = run_query(&ds, query).unwrap();
+        assert_eq!(serial.to_table().render(), result.to_table().render());
+
+        // A fault-free resilient run covers everyone and matches the
+        // plain engine.
+        let per_rank: Vec<Vec<PathBuf>> = paths.iter().map(|p| vec![p.clone()]).collect();
+        let (clean, clean_report) =
+            parallel_query_resilient(query, per_rank.clone(), FaultPlan::new(), opts).unwrap();
+        assert_eq!(clean_report.included, vec![0, 1, 2, 3]);
+        assert!(clean_report.lost.is_empty());
+        let (plain, _) = parallel_query(query, per_rank).unwrap();
+        assert_eq!(plain.to_table().render(), clean.to_table().render());
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

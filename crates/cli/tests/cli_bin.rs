@@ -283,6 +283,140 @@ fn cali_query_read_errors_name_the_file() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Writes a small hand-built dataset (3 kernels, integer times) so the
+/// corruption tests control file contents byte-precisely.
+fn tiny_dataset(seed: usize, records: usize) -> caliper_format::Dataset {
+    use caliper_data::{Properties, SnapshotRecord, Value, ValueType};
+    let mut ds = caliper_format::Dataset::new();
+    let kernel = ds.attribute("kernel", ValueType::Str, Properties::NESTED);
+    let time = ds.attribute(
+        "time",
+        ValueType::Int,
+        Properties::AS_VALUE | Properties::AGGREGATABLE,
+    );
+    let names = ["alpha", "beta", "gamma"];
+    for i in 0..records {
+        let node = ds.tree.get_child(
+            caliper_data::NODE_NONE,
+            kernel.id(),
+            &Value::str(names[(seed + i) % names.len()]),
+        );
+        let mut rec = SnapshotRecord::new();
+        rec.push_node(node);
+        rec.push_imm(time.id(), Value::Int((i * (seed + 1)) as i64));
+        ds.push(rec);
+    }
+    ds
+}
+
+#[test]
+fn cali_query_lenient_salvages_a_corrupt_corpus() {
+    let dir = std::env::temp_dir().join(format!("cali-bin-test-lenient-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let query = "AGGREGATE count, sum(time) GROUP BY kernel ORDER BY kernel";
+
+    // Two clean files...
+    let mut clean = Vec::new();
+    for seed in 0..2 {
+        let path = dir.join(format!("clean{seed}.cali"));
+        caliper_format::cali::write_file(&tiny_dataset(seed, 12), &path).unwrap();
+        clean.push(path);
+    }
+    // ...a text file truncated mid-way through its first context record
+    // (valid prefix = dictionary only, zero data records; the cut lands
+    // inside the record marker so the partial line cannot parse)...
+    let text = caliper_format::cali::to_bytes(&tiny_dataset(2, 12));
+    let text_str = String::from_utf8(text).unwrap();
+    let cut = text_str.find("__rec=ctx").expect("has a ctx record") + 4;
+    let truncated = dir.join("truncated.cali");
+    std::fs::write(&truncated, &text_str.as_bytes()[..cut]).unwrap();
+    // ...and a binary file whose body is garbage right after the header.
+    let bin = caliper_format::binary::to_binary(&tiny_dataset(3, 12));
+    let corrupt = dir.join("corrupt.calb");
+    std::fs::write(&corrupt, [&bin[..5], &[0xFF; 16]].concat()).unwrap();
+
+    let mut corpus = clean.clone();
+    corpus.push(truncated);
+    corpus.push(corrupt);
+
+    let run = |threads: &str, lenient: bool, paths: &[PathBuf]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_cali-query"));
+        cmd.arg("-q").arg(query).arg("--threads").arg(threads);
+        if lenient {
+            cmd.arg("--lenient");
+        }
+        cmd.args(paths).output().expect("run cali-query")
+    };
+
+    for threads in ["1", "4"] {
+        // Strict over the full corpus fails, naming a corrupt file.
+        let strict = run(threads, false, &corpus);
+        assert!(!strict.status.success(), "--threads {threads}");
+
+        // Lenient succeeds; the corrupt files contribute their (empty)
+        // valid prefixes, so stdout is byte-identical to a strict run
+        // over the clean files alone.
+        let reference = run(threads, false, &clean);
+        assert!(reference.status.success());
+        let lenient = run(threads, true, &corpus);
+        assert!(
+            lenient.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&lenient.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&lenient.stdout),
+            String::from_utf8_lossy(&reference.stdout),
+            "--threads {threads}"
+        );
+
+        // The skipped work is summarized per file on stderr.
+        let stderr = String::from_utf8(lenient.stderr).unwrap();
+        assert!(stderr.contains("truncated.cali"), "--threads {threads}: {stderr}");
+        assert!(stderr.contains("corrupt.calb"), "--threads {threads}: {stderr}");
+        assert!(stderr.contains("skipped"), "--threads {threads}: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cali_query_max_groups_bounds_the_database() {
+    let dir = std::env::temp_dir().join(format!("cali-bin-test-capped-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut paths = Vec::new();
+    for seed in 0..3 {
+        let path = dir.join(format!("in{seed}.cali"));
+        caliper_format::cali::write_file(&tiny_dataset(seed, 20), &path).unwrap();
+        paths.push(path);
+    }
+    let run = |threads: &str| {
+        Command::new(env!("CARGO_BIN_EXE_cali-query"))
+            .arg("-q")
+            .arg("AGGREGATE count, sum(time) GROUP BY kernel ORDER BY kernel")
+            .arg("--max-groups")
+            .arg("2") // fewer than the 3 kernels in the data
+            .arg("--threads")
+            .arg(threads)
+            .args(&paths)
+            .output()
+            .expect("run cali-query")
+    };
+    let serial = run("1");
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    let stdout = String::from_utf8(serial.stdout.clone()).unwrap();
+    assert!(stdout.contains("__overflow__"), "{stdout}");
+    let stderr = String::from_utf8(serial.stderr).unwrap();
+    assert!(stderr.contains("capped at 2 groups"), "{stderr}");
+
+    // The cap is deterministic across thread counts.
+    for threads in ["2", "4"] {
+        let sharded = run(threads);
+        assert!(sharded.status.success());
+        assert_eq!(serial.stdout, sharded.stdout, "--threads {threads} diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn mpi_caliquery_rejects_passthrough() {
     let (dir, paths) = write_inputs("reject", 1);

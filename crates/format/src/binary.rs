@@ -30,6 +30,7 @@ use caliper_data::{
 
 use crate::cali::CaliError;
 use crate::dataset::Dataset;
+use crate::policy::{ReadPolicy, ReadReport};
 
 /// Stream magic prefix identifying the binary `CALB` flavor.
 pub const MAGIC: &[u8; 4] = b"CALB";
@@ -102,7 +103,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CaliError> {
-        if self.pos + n > self.bytes.len() {
+        // `n` comes straight from an attacker-controllable length field;
+        // compare against the remainder rather than computing `pos + n`,
+        // which overflows for huge lengths.
+        if n > self.bytes.len() - self.pos {
             return Err(self.err("unexpected end of stream"));
         }
         let slice = &self.bytes[self.pos..self.pos + n];
@@ -176,6 +180,7 @@ pub struct BinaryWriter {
     out: Vec<u8>,
     written_attrs: FxHashSet<AttrId>,
     written_nodes: FxHashSet<NodeId>,
+    dangling_drops: u64,
 }
 
 impl BinaryWriter {
@@ -188,7 +193,15 @@ impl BinaryWriter {
             out,
             written_attrs: FxHashSet::default(),
             written_nodes: FxHashSet::default(),
+            dangling_drops: 0,
         }
+    }
+
+    /// Number of attribute/node references dropped because the id did
+    /// not resolve in the dataset (mirrors
+    /// [`CaliWriter::dangling_drops`](crate::cali::CaliWriter::dangling_drops)).
+    pub fn dangling_drops(&self) -> u64 {
+        self.dangling_drops
     }
 
     fn ensure_attr(&mut self, ds: &Dataset, id: AttrId) {
@@ -196,6 +209,7 @@ impl BinaryWriter {
             return;
         }
         let Some(attr) = ds.store.get(id) else {
+            self.dangling_drops += 1;
             return;
         };
         self.written_attrs.insert(id);
@@ -216,6 +230,7 @@ impl BinaryWriter {
         let mut cur = id;
         while cur != NODE_NONE && !self.written_nodes.contains(&cur) {
             let Some(node) = ds.tree.node(cur) else {
+                self.dangling_drops += 1;
                 break;
             };
             let parent = node.parent;
@@ -314,23 +329,47 @@ pub fn to_binary(ds: &Dataset) -> Vec<u8> {
     w.finish()
 }
 
-/// Parse a binary stream, appending into `ds` (merging semantics like
-/// the text reader: ids are remapped into the target dataset).
-pub fn read_binary_into(bytes: &[u8], mut ds: Dataset) -> Result<Dataset, CaliError> {
-    let mut cursor = Cursor { bytes, pos: 0 };
-    let magic = cursor.take(4)?;
-    if magic != MAGIC {
-        return Err(cursor.err("not a binary cali stream (bad magic)"));
-    }
-    let version = cursor.u8()?;
-    if version != VERSION {
-        return Err(cursor.err(format!("unsupported binary cali version {version}")));
+/// Per-stream decoder state: the id remapping tables built from the
+/// attr/node records seen so far.
+struct BinaryDecoder {
+    attr_map: FxHashMap<u64, Attribute>,
+    node_map: FxHashMap<u64, NodeId>,
+}
+
+impl BinaryDecoder {
+    fn new() -> BinaryDecoder {
+        BinaryDecoder {
+            attr_map: FxHashMap::default(),
+            node_map: FxHashMap::default(),
+        }
     }
 
-    let mut attr_map: FxHashMap<u64, Attribute> = FxHashMap::default();
-    let mut node_map: FxHashMap<u64, NodeId> = FxHashMap::default();
+    fn lookup_attr(
+        &self,
+        cursor: &Cursor<'_>,
+        id: u64,
+        what: &str,
+        report: &mut ReadReport,
+    ) -> Result<Attribute, CaliError> {
+        match self.attr_map.get(&id) {
+            Some(attr) => Ok(attr.clone()),
+            None => {
+                report.dangling_dropped += 1;
+                Err(cursor.err(format!("{what} references undeclared attribute {id}")))
+            }
+        }
+    }
 
-    while !cursor.at_end() {
+    /// Decode one record at the cursor; `Ok(true)` for data records
+    /// (ctx/globals). The dataset is mutated only once the record has
+    /// fully decoded, so an error leaves `ds` at the previous record
+    /// boundary.
+    fn read_record(
+        &mut self,
+        cursor: &mut Cursor<'_>,
+        ds: &mut Dataset,
+        report: &mut ReadReport,
+    ) -> Result<bool, CaliError> {
         let tag = cursor.u8()?;
         match tag {
             TAG_ATTR => {
@@ -347,64 +386,123 @@ pub fn read_binary_into(bytes: &[u8], mut ds: Dataset) -> Result<Dataset, CaliEr
                     .store
                     .create(&name, vtype, props)
                     .map_err(|e| cursor.err(e.to_string()))?;
-                attr_map.insert(id, attr);
+                self.attr_map.insert(id, attr);
+                Ok(false)
             }
             TAG_NODE => {
                 let id = cursor.varint()?;
                 let attr_id = cursor.varint()?;
                 let parent_code = cursor.varint()?;
-                let attr = attr_map
-                    .get(&attr_id)
-                    .cloned()
-                    .ok_or_else(|| cursor.err("node references undeclared attribute"))?;
-                let value = get_value(&mut cursor, attr.value_type())?;
+                let attr = self.lookup_attr(cursor, attr_id, "node", report)?;
+                let value = get_value(cursor, attr.value_type())?;
                 let parent = if parent_code == 0 {
                     NODE_NONE
                 } else {
-                    *node_map
-                        .get(&(parent_code - 1))
-                        .ok_or_else(|| cursor.err("node references unknown parent"))?
+                    match self.node_map.get(&(parent_code - 1)) {
+                        Some(local) => *local,
+                        None => {
+                            report.dangling_dropped += 1;
+                            return Err(cursor.err("node references unknown parent"));
+                        }
+                    }
                 };
                 let local = ds.tree.get_child(parent, attr.id(), &value);
-                node_map.insert(id, local);
+                self.node_map.insert(id, local);
+                Ok(false)
             }
             TAG_CTX => {
                 let mut rec = SnapshotRecord::new();
                 let nrefs = cursor.varint()?;
                 for _ in 0..nrefs {
                     let id = cursor.varint()?;
-                    let local = *node_map
-                        .get(&id)
-                        .ok_or_else(|| cursor.err("ref to unknown node"))?;
+                    let local = match self.node_map.get(&id) {
+                        Some(local) => *local,
+                        None => {
+                            report.dangling_dropped += 1;
+                            return Err(cursor.err(format!("ref to unknown node {id}")));
+                        }
+                    };
                     rec.push_node(local);
                 }
                 let nimm = cursor.varint()?;
                 for _ in 0..nimm {
                     let attr_id = cursor.varint()?;
-                    let attr = attr_map
-                        .get(&attr_id)
-                        .cloned()
-                        .ok_or_else(|| cursor.err("imm references undeclared attribute"))?;
-                    let value = get_value(&mut cursor, attr.value_type())?;
+                    let attr = self.lookup_attr(cursor, attr_id, "imm", report)?;
+                    let value = get_value(cursor, attr.value_type())?;
                     rec.push_imm(attr.id(), value);
                 }
                 ds.records.push(rec);
+                Ok(true)
             }
             TAG_GLOBALS => {
                 let mut rec = FlatRecord::new();
                 let nimm = cursor.varint()?;
                 for _ in 0..nimm {
                     let attr_id = cursor.varint()?;
-                    let attr = attr_map
-                        .get(&attr_id)
-                        .cloned()
-                        .ok_or_else(|| cursor.err("global references undeclared attribute"))?;
-                    let value = get_value(&mut cursor, attr.value_type())?;
+                    let attr = self.lookup_attr(cursor, attr_id, "global", report)?;
+                    let value = get_value(cursor, attr.value_type())?;
                     rec.push(attr.id(), value);
                 }
                 ds.globals.push(rec);
+                Ok(true)
             }
-            other => return Err(cursor.err(format!("unknown record tag 0x{other:02x}"))),
+            other => Err(cursor.err(format!("unknown record tag 0x{other:02x}"))),
+        }
+    }
+}
+
+/// Parse a binary stream, appending into `ds` (merging semantics like
+/// the text reader: ids are remapped into the target dataset).
+pub fn read_binary_into(bytes: &[u8], ds: Dataset) -> Result<Dataset, CaliError> {
+    read_binary_into_with(bytes, ds, ReadPolicy::Strict, &mut ReadReport::default())
+}
+
+/// Parse a binary stream under `policy`, appending into `ds` and
+/// accounting into `report`.
+///
+/// Binary framing cannot be resynchronized after a corrupt record — a
+/// bad length field poisons every byte that follows — so
+/// [`ReadPolicy::Lenient`] has *valid-prefix* semantics here: decoding
+/// stops at the first malformed record, keeps everything decoded so
+/// far, and marks the report truncated. A bad magic or version is an
+/// error in either mode (the input is not a damaged `CALB` stream, it
+/// is not a `CALB` stream at all).
+pub fn read_binary_into_with(
+    bytes: &[u8],
+    mut ds: Dataset,
+    policy: ReadPolicy,
+    report: &mut ReadReport,
+) -> Result<Dataset, CaliError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let magic = cursor.take(4)?;
+    if magic != MAGIC {
+        return Err(cursor.err("not a binary cali stream (bad magic)"));
+    }
+    let version = cursor.u8()?;
+    if version != VERSION {
+        return Err(cursor.err(format!("unsupported binary cali version {version}")));
+    }
+
+    let mut decoder = BinaryDecoder::new();
+    while !cursor.at_end() {
+        match decoder.read_record(&mut cursor, &mut ds, report) {
+            Ok(is_data) => {
+                if is_data {
+                    report.records += 1;
+                }
+            }
+            Err(e) => {
+                if !policy.is_lenient() {
+                    return Err(e);
+                }
+                report.skipped += 1;
+                report.truncated = true;
+                report.note_error(e.to_string());
+                if report.skipped > policy.max_errors() {
+                    return Err(e);
+                }
+                return Ok(ds);
+            }
         }
     }
     Ok(ds)
@@ -413,6 +511,17 @@ pub fn read_binary_into(bytes: &[u8], mut ds: Dataset) -> Result<Dataset, CaliEr
 /// Parse a binary stream into a fresh dataset.
 pub fn from_binary(bytes: &[u8]) -> Result<Dataset, CaliError> {
     read_binary_into(bytes, Dataset::new())
+}
+
+/// Parse a binary stream into a fresh dataset under `policy`, returning
+/// the dataset together with the read report.
+pub fn from_binary_with(
+    bytes: &[u8],
+    policy: ReadPolicy,
+) -> Result<(Dataset, ReadReport), CaliError> {
+    let mut report = ReadReport::default();
+    let ds = read_binary_into_with(bytes, Dataset::new(), policy, &mut report)?;
+    Ok((ds, report))
 }
 
 /// Write a dataset to a binary file.
@@ -521,6 +630,43 @@ mod tests {
         }
         assert!(from_binary(b"NOPE").is_err());
         assert!(from_binary(b"CALB\x63").is_err()); // bad version
+    }
+
+    #[test]
+    fn lenient_truncation_keeps_the_valid_prefix() {
+        let ds = sample();
+        let bytes = to_binary(&ds);
+        let full = from_binary(&bytes).unwrap().len();
+        let mut last = 0usize;
+        for cut in 5..=bytes.len() {
+            let (prefix, report) =
+                from_binary_with(&bytes[..cut], ReadPolicy::lenient()).unwrap();
+            // Monotone: longer prefixes never decode fewer records.
+            assert!(prefix.len() >= last, "cut {cut}");
+            last = prefix.len();
+            if cut < bytes.len() {
+                assert!(report.truncated || prefix.len() == full || report.is_clean());
+            }
+        }
+        assert_eq!(last, full);
+    }
+
+    #[test]
+    fn lenient_garbage_tail_is_reported() {
+        let ds = sample();
+        let mut bytes = to_binary(&ds);
+        bytes.extend_from_slice(&[0xee; 16]);
+        let (back, report) = from_binary_with(&bytes, ReadPolicy::lenient()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert!(report.truncated);
+        assert_eq!(report.skipped, 1);
+        assert!(report.errors[0].contains("unknown record tag"));
+    }
+
+    #[test]
+    fn bad_header_is_an_error_even_when_lenient() {
+        assert!(from_binary_with(b"NOPE", ReadPolicy::lenient()).is_err());
+        assert!(from_binary_with(b"CALB\x63", ReadPolicy::lenient()).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use caliper_data::{
 
 use crate::dataset::Dataset;
 use crate::escape::{escape_into, split_fields};
+use crate::policy::{ReadPolicy, ReadReport};
 
 /// Errors produced by the `.cali` reader.
 #[derive(Debug)]
@@ -98,6 +99,7 @@ pub struct CaliWriter<W: Write> {
     written_attrs: FxHashSet<AttrId>,
     written_nodes: FxHashSet<NodeId>,
     line: String,
+    dangling_drops: u64,
 }
 
 impl<W: Write> CaliWriter<W> {
@@ -108,7 +110,17 @@ impl<W: Write> CaliWriter<W> {
             written_attrs: FxHashSet::default(),
             written_nodes: FxHashSet::default(),
             line: String::with_capacity(256),
+            dangling_drops: 0,
         }
+    }
+
+    /// Number of attribute/node references that could not be emitted
+    /// because the id did not resolve in the dataset's store or tree.
+    /// Such references are dropped from the stream (there is no valid
+    /// metadata to write for them), but never silently: callers can
+    /// check this counter after writing and warn.
+    pub fn dangling_drops(&self) -> u64 {
+        self.dangling_drops
     }
 
     fn ensure_attr(&mut self, ds: &Dataset, id: AttrId) -> io::Result<()> {
@@ -117,7 +129,12 @@ impl<W: Write> CaliWriter<W> {
         }
         let attr = match ds.store.get(id) {
             Some(a) => a,
-            None => return Ok(()), // dangling id: skip silently
+            None => {
+                // Dangling id: nothing can be written for it. Count the
+                // drop so it is observable instead of silent data loss.
+                self.dangling_drops += 1;
+                return Ok(());
+            }
         };
         self.written_attrs.insert(id);
         self.line.clear();
@@ -146,7 +163,10 @@ impl<W: Write> CaliWriter<W> {
         let mut cur = id;
         while cur != NODE_NONE && !self.written_nodes.contains(&cur) {
             let Some(node) = ds.tree.node(cur) else {
-                break; // dangling id: skip silently
+                // Dangling id in the ancestor chain: drop the remainder
+                // of the chain, counted so callers can surface it.
+                self.dangling_drops += 1;
+                break;
             };
             let parent = node.parent;
             chain.push((cur, node));
@@ -291,20 +311,58 @@ impl CaliReader {
         }
     }
 
-    fn lookup_attr(&self, id: u32) -> Result<Attribute, CaliError> {
-        self.attr_map
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| self.err(format!("reference to undeclared attribute {id}")))
+    fn lookup_attr(&self, id: u32, report: &mut ReadReport) -> Result<Attribute, CaliError> {
+        match self.attr_map.get(&id) {
+            Some(attr) => Ok(attr.clone()),
+            None => {
+                report.dangling_dropped += 1;
+                Err(self.err(format!("reference to undeclared attribute {id}")))
+            }
+        }
     }
 
-    /// Process one line of the stream.
+    /// Process one line of the stream (strict: the first malformed
+    /// record is an error).
     pub fn read_line(&mut self, line: &str) -> Result<(), CaliError> {
+        self.read_line_with(line, ReadPolicy::Strict, &mut ReadReport::default())
+    }
+
+    /// Process one line of the stream under `policy`, accounting into
+    /// `report`.
+    ///
+    /// Under [`ReadPolicy::Lenient`] a malformed line is skipped whole —
+    /// parsing resynchronizes at the next line, and a failed line never
+    /// contributes a partial record — until the policy's skip budget is
+    /// exhausted, after which the error is returned like in strict mode.
+    pub fn read_line_with(
+        &mut self,
+        line: &str,
+        policy: ReadPolicy,
+        report: &mut ReadReport,
+    ) -> Result<(), CaliError> {
         self.line_no += 1;
         let line = line.trim_end_matches(['\n', '\r']);
         if line.is_empty() || line.starts_with('#') {
             return Ok(());
         }
+        match self.parse_record(line, report) {
+            Ok(is_data) => {
+                if is_data {
+                    report.records += 1;
+                }
+                Ok(())
+            }
+            Err(e) => self.skip_or_fail(e, policy, report),
+        }
+    }
+
+    /// Parse one non-empty record line; `Ok(true)` for data records
+    /// (ctx/globals), `Ok(false)` for metadata (attr/node).
+    ///
+    /// All parsers mutate reader state only after the whole line has
+    /// validated, so a failed line leaves the dataset untouched and a
+    /// lenient skip is exact.
+    fn parse_record(&mut self, line: &str, report: &mut ReadReport) -> Result<bool, CaliError> {
         let fields = split_fields(line);
         let kind = fields
             .iter()
@@ -312,11 +370,31 @@ impl CaliReader {
             .map(|(_, v)| v.as_str())
             .ok_or_else(|| self.err("missing __rec field"))?;
         match kind {
-            "attr" => self.read_attr(&fields),
-            "node" => self.read_node(&fields),
-            "ctx" => self.read_entry_list(&fields, false),
-            "globals" => self.read_entry_list(&fields, true),
+            "attr" => self.read_attr(&fields).map(|()| false),
+            "node" => self.read_node(&fields, report).map(|()| false),
+            "ctx" => self.read_entry_list(&fields, false, report).map(|()| true),
+            "globals" => self.read_entry_list(&fields, true, report).map(|()| true),
             other => Err(self.err(format!("unknown record kind '{other}'"))),
+        }
+    }
+
+    /// Lenient-mode error disposition: count the skip and carry on while
+    /// the budget lasts; propagate the error otherwise.
+    fn skip_or_fail(
+        &mut self,
+        e: CaliError,
+        policy: ReadPolicy,
+        report: &mut ReadReport,
+    ) -> Result<(), CaliError> {
+        if !policy.is_lenient() {
+            return Err(e);
+        }
+        report.skipped += 1;
+        report.note_error(e.to_string());
+        if report.skipped > policy.max_errors() {
+            Err(e)
+        } else {
+            Ok(())
         }
     }
 
@@ -346,7 +424,11 @@ impl CaliReader {
         Ok(())
     }
 
-    fn read_node(&mut self, fields: &[(String, String)]) -> Result<(), CaliError> {
+    fn read_node(
+        &mut self,
+        fields: &[(String, String)],
+        report: &mut ReadReport,
+    ) -> Result<(), CaliError> {
         let mut id = None;
         let mut attr = None;
         let mut parent = None;
@@ -363,14 +445,17 @@ impl CaliReader {
         let id = id.ok_or_else(|| self.err("node record without valid id"))?;
         let attr_id = attr.ok_or_else(|| self.err("node record without attr"))?;
         let data = data.ok_or_else(|| self.err("node record without data"))?;
-        let attr = self.lookup_attr(attr_id)?;
+        let attr = self.lookup_attr(attr_id, report)?;
         let value = Value::parse_typed(&data, attr.value_type())
             .ok_or_else(|| self.err(format!("cannot parse '{data}' as {}", attr.value_type())))?;
         let parent_local = match parent {
-            Some(p) => *self
-                .node_map
-                .get(&p)
-                .ok_or_else(|| self.err(format!("node {id} references unknown parent {p}")))?,
+            Some(p) => match self.node_map.get(&p) {
+                Some(local) => *local,
+                None => {
+                    report.dangling_dropped += 1;
+                    return Err(self.err(format!("node {id} references unknown parent {p}")));
+                }
+            },
             None => NODE_NONE,
         };
         let local = self.ds.tree.get_child(parent_local, attr.id(), &value);
@@ -382,6 +467,7 @@ impl CaliReader {
         &mut self,
         fields: &[(String, String)],
         globals: bool,
+        report: &mut ReadReport,
     ) -> Result<(), CaliError> {
         let mut record = SnapshotRecord::new();
         let mut flat = FlatRecord::new();
@@ -392,17 +478,20 @@ impl CaliReader {
                     let id: u32 = v
                         .parse()
                         .map_err(|_| self.err(format!("invalid node ref '{v}'")))?;
-                    let local = *self
-                        .node_map
-                        .get(&id)
-                        .ok_or_else(|| self.err(format!("ref to unknown node {id}")))?;
+                    let local = match self.node_map.get(&id) {
+                        Some(local) => *local,
+                        None => {
+                            report.dangling_dropped += 1;
+                            return Err(self.err(format!("ref to unknown node {id}")));
+                        }
+                    };
                     record.push_node(local);
                 }
                 "attr" => {
                     let id: u32 = v
                         .parse()
                         .map_err(|_| self.err(format!("invalid attr id '{v}'")))?;
-                    pending_attr = Some(self.lookup_attr(id)?);
+                    pending_attr = Some(self.lookup_attr(id, report)?);
                 }
                 "data" => {
                     let attr = pending_attr
@@ -428,12 +517,51 @@ impl CaliReader {
         Ok(())
     }
 
-    /// Consume a whole `BufRead` stream.
+    /// Consume a whole `BufRead` stream (strict).
     pub fn read_stream(&mut self, reader: impl BufRead) -> Result<(), CaliError> {
-        for line in reader.lines() {
-            self.read_line(&line?)?;
+        self.read_stream_with(reader, ReadPolicy::Strict, &mut ReadReport::default())
+    }
+
+    /// Consume a whole `BufRead` stream under `policy`, accounting into
+    /// `report`.
+    ///
+    /// Lines are read as raw bytes and validated as UTF-8 individually,
+    /// so under [`ReadPolicy::Lenient`] a line of binary garbage is one
+    /// skipped record rather than the end of the read, and an I/O error
+    /// mid-stream (truncation) keeps the decoded prefix and marks the
+    /// report truncated.
+    pub fn read_stream_with(
+        &mut self,
+        mut reader: impl BufRead,
+        policy: ReadPolicy,
+        report: &mut ReadReport,
+    ) -> Result<(), CaliError> {
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            let n = match reader.read_until(b'\n', &mut buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    if policy.is_lenient() {
+                        report.truncated = true;
+                        report.note_error(format!("i/o error after line {}: {e}", self.line_no));
+                        return Ok(());
+                    }
+                    return Err(CaliError::Io(e));
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            match std::str::from_utf8(&buf) {
+                Ok(s) => self.read_line_with(s, policy, report)?,
+                Err(_) => {
+                    self.line_no += 1;
+                    let e = self.err("invalid UTF-8 in line");
+                    self.skip_or_fail(e, policy, report)?;
+                }
+            }
         }
-        Ok(())
     }
 
     /// Finish reading and return the dataset.
@@ -453,6 +581,15 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Dataset, CaliError> {
     let mut reader = CaliReader::new();
     reader.read_stream(io::BufReader::new(bytes))?;
     Ok(reader.finish())
+}
+
+/// Parse a `.cali` byte buffer under `policy`, returning the dataset
+/// together with the read report.
+pub fn from_bytes_with(bytes: &[u8], policy: ReadPolicy) -> Result<(Dataset, ReadReport), CaliError> {
+    let mut report = ReadReport::default();
+    let mut reader = CaliReader::new();
+    reader.read_stream_with(io::BufReader::new(bytes), policy, &mut report)?;
+    Ok((reader.finish(), report))
 }
 
 /// Read a `.cali` file into a dataset.
@@ -581,6 +718,87 @@ mod tests {
         assert!(reader.read_line("no record kind here").is_err());
         assert!(reader.read_line("# comment").is_ok());
         assert!(reader.read_line("").is_ok());
+    }
+
+    #[test]
+    fn lenient_skips_corrupt_lines_and_resynchronizes() {
+        let ds = sample_dataset();
+        let text = String::from_utf8(to_bytes(&ds)).unwrap();
+        let clean_lines: Vec<&str> = text.lines().collect();
+        // Splice garbage between valid records: each bad line must be
+        // skipped whole and parsing must resume on the next line.
+        let mut spliced = Vec::new();
+        for (i, line) in clean_lines.iter().enumerate() {
+            spliced.push(line.to_string());
+            if i == 2 {
+                spliced.push("total garbage, no record kind".to_string());
+                spliced.push("__rec=ctx,ref=9999".to_string());
+            }
+        }
+        let bytes = spliced.join("\n").into_bytes();
+        let (lenient, report) = from_bytes_with(&bytes, ReadPolicy::lenient()).unwrap();
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.dangling_dropped, 1);
+        assert!(!report.truncated);
+        assert_eq!(lenient.len(), ds.len());
+        let orig: Vec<String> = ds.flat_records().map(|r| r.describe(&ds.store)).collect();
+        let read: Vec<String> = lenient
+            .flat_records()
+            .map(|r| r.describe(&lenient.store))
+            .collect();
+        assert_eq!(orig, read);
+        // The same stream under strict mode fails.
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn lenient_skip_budget_is_enforced() {
+        let mut bytes = Vec::new();
+        for _ in 0..5 {
+            bytes.extend_from_slice(b"not a record\n");
+        }
+        assert!(from_bytes_with(&bytes, ReadPolicy::Lenient { max_errors: 3 }).is_err());
+        let (_, report) = from_bytes_with(&bytes, ReadPolicy::Lenient { max_errors: 5 }).unwrap();
+        assert_eq!(report.skipped, 5);
+    }
+
+    #[test]
+    fn lenient_tolerates_invalid_utf8_lines() {
+        let ds = sample_dataset();
+        let mut bytes = to_bytes(&ds);
+        bytes.extend_from_slice(b"\xff\xfe binary garbage \x80\n");
+        let (lenient, report) = from_bytes_with(&bytes, ReadPolicy::lenient()).unwrap();
+        assert_eq!(lenient.len(), ds.len());
+        assert_eq!(report.skipped, 1);
+        assert!(report.errors[0].contains("UTF-8"));
+        // Strict mode reports the bad line as a parse error.
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn writer_counts_dangling_ids() {
+        let ds = sample_dataset();
+        let mut rec = SnapshotRecord::new();
+        rec.push_node(9999); // never created in ds.tree
+        rec.push_imm(4242, Value::Int(1)); // no such attribute
+        let mut with_dangling = sample_dataset();
+        with_dangling.push(rec);
+
+        let mut w = CaliWriter::new(Vec::new());
+        w.write_dataset(&with_dangling).unwrap();
+        assert_eq!(w.dangling_drops(), 2);
+        let bytes = w.finish().unwrap();
+
+        let mut w2 = CaliWriter::new(Vec::new());
+        w2.write_dataset(&ds).unwrap();
+        assert_eq!(w2.dangling_drops(), 0);
+
+        // The emitted stream still reads back; the dangling entries
+        // surface as dangling refs on the reader side.
+        let (ds2, report) = from_bytes_with(&bytes, ReadPolicy::lenient()).unwrap();
+        assert_eq!(ds2.len(), ds.len());
+        assert_eq!(report.skipped, 1);
+        assert!(report.dangling_dropped >= 1);
     }
 
     #[test]

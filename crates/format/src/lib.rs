@@ -37,10 +37,14 @@ pub mod escape;
 pub mod expand;
 pub mod flamegraph;
 pub mod json;
+pub mod policy;
 pub mod reader;
 pub mod table;
 
 pub use cali::{CaliError, CaliReader, CaliWriter};
 pub use dataset::Dataset;
-pub use reader::{read_path, read_path_into, RecordBatch};
+pub use policy::{ReadPolicy, ReadReport, MAX_REPORTED_ERRORS};
+pub use reader::{
+    read_path, read_path_into, read_path_into_reported, read_path_reported, RecordBatch,
+};
 pub use table::Table;

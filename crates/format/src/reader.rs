@@ -27,6 +27,7 @@ use caliper_data::FlatRecord;
 use crate::binary;
 use crate::cali::{CaliError, CaliReader};
 use crate::dataset::Dataset;
+use crate::policy::{ReadPolicy, ReadReport};
 
 /// Reads one `.cali` or `CALB` file into a fresh dataset, sniffing the
 /// format from the stream header (not the file name). Errors carry the
@@ -39,18 +40,43 @@ pub fn read_path(path: impl AsRef<Path>) -> Result<Dataset, CaliError> {
 /// remapped into the shared dictionary, as with
 /// [`CaliReader::into_dataset`]). Errors carry the path.
 pub fn read_path_into(path: impl AsRef<Path>, ds: Dataset) -> Result<Dataset, CaliError> {
+    read_path_into_reported(path, ds, ReadPolicy::Strict).map(|(ds, _)| ds)
+}
+
+/// Reads one `.cali` or `CALB` file into a fresh dataset under `policy`,
+/// returning the per-file [`ReadReport`] alongside the data.
+pub fn read_path_reported(
+    path: impl AsRef<Path>,
+    policy: ReadPolicy,
+) -> Result<(Dataset, ReadReport), CaliError> {
+    read_path_into_reported(path, Dataset::new(), policy)
+}
+
+/// Reads one `.cali` or `CALB` file under `policy`, appending into `ds`.
+///
+/// The report is attributed to the file's path. Failing to *open* the
+/// file is an error regardless of policy — a mistyped path must never
+/// be silently "skipped" — whereas decode problems inside the file
+/// follow the policy (skip-and-count when lenient, abort when strict).
+pub fn read_path_into_reported(
+    path: impl AsRef<Path>,
+    ds: Dataset,
+    policy: ReadPolicy,
+) -> Result<(Dataset, ReadReport), CaliError> {
     let path = path.as_ref();
     let attribute = |e: CaliError| e.with_path(path);
+    let mut report = ReadReport::for_path(path);
     let bytes = std::fs::read(path).map_err(|e| attribute(CaliError::Io(e)))?;
-    if bytes.starts_with(binary::MAGIC) {
-        binary::read_binary_into(&bytes, ds).map_err(attribute)
+    let ds = if bytes.starts_with(binary::MAGIC) {
+        binary::read_binary_into_with(&bytes, ds, policy, &mut report).map_err(attribute)?
     } else {
         let mut reader = CaliReader::into_dataset(ds);
         reader
-            .read_stream(std::io::BufReader::new(&bytes[..]))
+            .read_stream_with(std::io::BufReader::new(&bytes[..]), policy, &mut report)
             .map_err(attribute)?;
-        Ok(reader.finish())
-    }
+        reader.finish()
+    };
+    Ok((ds, report))
 }
 
 /// A contiguous run of one dataset's snapshot records, sharing the
@@ -179,6 +205,28 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("bad.cali") && text.contains("undeclared"), "{text}");
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn read_path_reported_attributes_and_accounts() {
+        let dir = std::env::temp_dir().join("caliper-reader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damaged.cali");
+        let ds = dataset_with(3);
+        let mut text = String::from_utf8(crate::cali::to_bytes(&ds)).unwrap();
+        text.push_str("garbage line\n");
+        std::fs::write(&path, &text).unwrap();
+
+        assert!(read_path(&path).is_err());
+        let (back, report) = read_path_reported(&path, ReadPolicy::lenient()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.path.as_deref(), Some(path.as_path()));
+
+        // Opening a missing path errors even under Lenient.
+        assert!(read_path_reported("/nonexistent/x.cali", ReadPolicy::lenient()).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! Failure-injection tests for the `.cali` reader: corrupted, truncated
-//! and adversarial streams must produce errors (or skip cleanly), never
+//! Failure-injection tests for the `.cali` (text) and `CALB` (binary)
+//! readers: corrupted, truncated and adversarial streams must produce
+//! errors (or skip cleanly, under a lenient [`ReadPolicy`]), never
 //! panics or silently wrong data.
 
 use caliper_data::{Properties, SnapshotRecord, Value, ValueType, NODE_NONE};
-use caliper_format::{cali, CaliReader, Dataset};
+use caliper_format::{binary, cali, CaliReader, Dataset, ReadPolicy};
+use proptest::prelude::*;
 
 fn sample_bytes() -> Vec<u8> {
     let mut ds = Dataset::new();
@@ -14,10 +16,10 @@ fn sample_bytes() -> Vec<u8> {
         Properties::AS_VALUE | Properties::AGGREGATABLE,
     );
     let main = ds.tree.get_child(NODE_NONE, func.id(), &Value::str("main"));
-    let foo = ds.tree.get_child(main, func.id(), &Value::str("foo"));
-    for i in 0..10 {
+    let inner = ds.tree.get_child(main, func.id(), &Value::str("inner"));
+    for i in 0..10u32 {
         let mut rec = SnapshotRecord::new();
-        rec.push_node(if i % 2 == 0 { foo } else { main });
+        rec.push_node(if i.is_multiple_of(2) { inner } else { main });
         rec.push_imm(dur.id(), Value::Float(i as f64));
         ds.push(rec);
     }
@@ -121,6 +123,129 @@ fn reader_survives_partial_use_after_error() {
     reader.read_line("__rec=ctx,attr=0,data=7").unwrap();
     let ds = reader.finish();
     assert_eq!(ds.len(), 1);
+}
+
+/// Renders every snapshot record of a dataset for content comparison.
+fn record_lines(ds: &Dataset) -> Vec<String> {
+    ds.flat_records().map(|r| r.describe(&ds.store)).collect()
+}
+
+#[test]
+fn calb_truncation_at_every_byte_is_a_prefix_of_the_clean_decode() {
+    let ds = cali::from_bytes(&sample_bytes()).unwrap();
+    let bytes = binary::to_binary(&ds);
+    let clean = record_lines(&binary::from_binary(&bytes).unwrap());
+    // The 5-byte header (magic + version) is a hard requirement even
+    // when lenient; after that, every cut must yield a valid prefix.
+    for cut in 0..5 {
+        assert!(binary::from_binary_with(&bytes[..cut], ReadPolicy::lenient()).is_err());
+    }
+    let mut prev = 0usize;
+    for cut in 5..=bytes.len() {
+        let (prefix, report) =
+            binary::from_binary_with(&bytes[..cut], ReadPolicy::lenient()).unwrap();
+        let lines = record_lines(&prefix);
+        assert_eq!(lines, clean[..lines.len()], "cut at {cut}");
+        assert!(lines.len() >= prev, "prefix shrank at {cut}");
+        prev = lines.len();
+        // A cut landing exactly on a record boundary is indistinguishable
+        // from a shorter file and may go unreported; the full stream must
+        // decode without complaints.
+        if cut == bytes.len() {
+            assert!(report.is_clean(), "clean stream reported dirty: {report:?}");
+        }
+    }
+    assert_eq!(prev, clean.len(), "full stream decodes completely");
+}
+
+#[test]
+fn calb_flipped_bytes_never_panic_and_never_invent_records() {
+    let ds = cali::from_bytes(&sample_bytes()).unwrap();
+    let bytes = binary::to_binary(&ds);
+    let clean = binary::from_binary(&bytes).unwrap().len();
+    for pos in 5..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] = !corrupted[pos]; // flip every bit: lengths, tags, values
+        let _ = binary::from_binary(&corrupted); // strict: must not panic
+        if let Ok((ds, _)) = binary::from_binary_with(&corrupted, ReadPolicy::lenient()) {
+            // A flip can change values or cut the stream short, but the
+            // lenient prefix can never contain *more* records than the
+            // clean stream.
+            assert!(ds.len() <= clean, "flip at {pos} invented records");
+        }
+    }
+}
+
+#[test]
+fn calb_huge_length_fields_error_instead_of_panicking() {
+    // A crafted attr record whose name-length varint decodes to
+    // u64::MAX must be rejected as truncation, not overflow the
+    // cursor arithmetic or attempt the allocation.
+    let mut bytes = b"CALB\x01".to_vec();
+    bytes.push(0x01); // TAG_ATTR
+    bytes.push(0x00); // id 0
+    bytes.extend_from_slice(&[0xFF; 9]); // varint: u64::MAX
+    bytes.push(0x01);
+    assert!(binary::from_binary(&bytes).is_err());
+    let (ds, report) = binary::from_binary_with(&bytes, ReadPolicy::lenient()).unwrap();
+    assert_eq!(ds.len(), 0);
+    assert!(report.truncated);
+}
+
+#[test]
+fn calb_garbage_tail_is_skipped_leniently() {
+    let ds = cali::from_bytes(&sample_bytes()).unwrap();
+    let mut bytes = binary::to_binary(&ds);
+    let clean = record_lines(&binary::from_binary(&bytes).unwrap());
+    bytes.extend_from_slice(&[0xFE; 64]);
+    assert!(binary::from_binary(&bytes).is_err(), "strict must reject the tail");
+    let (back, report) = binary::from_binary_with(&bytes, ReadPolicy::lenient()).unwrap();
+    assert_eq!(record_lines(&back), clean);
+    assert!(report.truncated);
+    assert_eq!(report.skipped, 1);
+}
+
+proptest! {
+    /// Deleting any subset of lines from a valid text stream and
+    /// decoding leniently yields a sub-multiset of the clean decode's
+    /// records — corruption may lose data, it must never fabricate it.
+    #[test]
+    fn lenient_text_decode_of_a_line_deleted_stream_is_a_submultiset(
+        keep in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        let clean_ds = cali::from_bytes(&sample_bytes()).unwrap();
+        let mut clean = record_lines(&clean_ds);
+        let text = String::from_utf8(sample_bytes()).unwrap();
+        let damaged: String = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *keep.get(*i).unwrap_or(&true))
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let (back, _report) =
+            cali::from_bytes_with(damaged.as_bytes(), ReadPolicy::lenient()).unwrap();
+        // Every surviving record must appear in the clean decode
+        // (multiset containment: remove matches one by one).
+        for line in record_lines(&back) {
+            let pos = clean.iter().position(|c| *c == line);
+            prop_assert!(pos.is_some(), "fabricated record: {line}");
+            clean.remove(pos.unwrap());
+        }
+    }
+
+    /// Truncating a binary stream at an arbitrary byte and decoding
+    /// leniently yields exactly a prefix of the clean decode.
+    #[test]
+    fn lenient_calb_decode_of_a_truncation_is_a_prefix(cut_seed in 0usize..10_000) {
+        let ds = cali::from_bytes(&sample_bytes()).unwrap();
+        let bytes = binary::to_binary(&ds);
+        let clean = record_lines(&binary::from_binary(&bytes).unwrap());
+        let cut = 5 + cut_seed % (bytes.len() - 4);
+        let (prefix, _report) =
+            binary::from_binary_with(&bytes[..cut], ReadPolicy::lenient()).unwrap();
+        let lines = record_lines(&prefix);
+        prop_assert_eq!(&lines[..], &clean[..lines.len()]);
+    }
 }
 
 #[test]

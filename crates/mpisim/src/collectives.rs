@@ -9,11 +9,15 @@
 //! time each rank spent per tree level, which the Figure 4 harness
 //! reduces to critical-path times.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::comm::{Comm, CommError, Tag};
 
 const TAG_BASE: Tag = 0xC0DE;
+/// Base tag of the resilient reduction; each tree level uses its own
+/// tag (`TAG_RESIL + level`) so a straggler's late message from one
+/// level can never be mistaken for traffic of a later one.
+const TAG_RESIL: Tag = 0xC0DE + 0x100;
 
 /// Binomial-tree reduction toward rank 0. Every rank passes its `value`;
 /// rank 0 returns `Some(combined)`, all other ranks `None`.
@@ -31,7 +35,7 @@ where
     let mut acc = value;
     let mut step = 1usize;
     while step < size {
-        if rank % (2 * step) == 0 {
+        if rank.is_multiple_of(2 * step) {
             let partner = rank + step;
             if partner < size {
                 let incoming: T = comm.recv(partner, TAG_BASE)?;
@@ -65,7 +69,7 @@ where
     let mut step = 1usize;
     while step < size {
         let start = Instant::now();
-        if rank % (2 * step) == 0 {
+        if rank.is_multiple_of(2 * step) {
             let partner = rank + step;
             if partner < size {
                 let incoming: T = comm.recv(partner, TAG_BASE)?;
@@ -83,6 +87,212 @@ where
         step *= 2;
     }
     Ok((acc, times))
+}
+
+/// Like [`reduce_tree`], but every receive is bounded by `timeout`.
+///
+/// The deadlock-avoidance primitive: with a plain [`reduce_tree`], one
+/// dead rank leaves its parent blocked forever (the parent's inbox
+/// never disconnects — the parent itself keeps all senders alive). Here
+/// the parent instead gets [`CommError::Timeout`] and can abort the
+/// whole reduction cleanly. For degrading *gracefully* — salvaging the
+/// surviving ranks' data instead of aborting — see
+/// [`reduce_tree_resilient`].
+pub fn reduce_tree_timeout<T, F>(
+    comm: &mut Comm,
+    value: T,
+    mut merge: F,
+    timeout: Duration,
+) -> Result<Option<T>, CommError>
+where
+    T: Send + 'static,
+    F: FnMut(T, T) -> T,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut acc = value;
+    let mut step = 1usize;
+    while step < size {
+        if rank.is_multiple_of(2 * step) {
+            let partner = rank + step;
+            if partner < size {
+                let incoming: T = comm.recv_timeout(partner, TAG_BASE, timeout)?;
+                acc = merge(acc, incoming);
+            }
+        } else {
+            let parent = rank - step;
+            comm.send(parent, TAG_BASE, acc)?;
+            return Ok(None);
+        }
+        step *= 2;
+    }
+    Ok(Some(acc))
+}
+
+/// Tuning knobs for [`reduce_tree_resilient`].
+///
+/// `timeout` and `backoff` are *base* (tree level 0) values; the
+/// reduction doubles them per level, because a partner at level *l* may
+/// legitimately stall for its own full timeout budget at every level
+/// below before it can forward. With doubling, the budget at level *l*
+/// strictly exceeds the sum of all lower-level budgets, so cascaded
+/// waits below a slow-but-alive partner never get misread as a death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceOptions {
+    /// Base wait per receive before suspecting the partner.
+    pub timeout: Duration,
+    /// Additional receive attempts after the first timeout. Retries
+    /// exist for stragglers, not corpses: a delayed partner's message
+    /// arrives during a retry, a dead partner's never does.
+    pub retries: u32,
+    /// Extra wait added per retry attempt (linear backoff): attempt
+    /// *n* waits `timeout + n * backoff`.
+    pub backoff: Duration,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> ResilienceOptions {
+        ResilienceOptions {
+            timeout: Duration::from_millis(250),
+            retries: 2,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ResilienceOptions {
+    /// Worst-case total wait for one level-0 partner before declaring
+    /// it lost. (At level *l* the budget is this, times `2^l`.)
+    pub fn total_wait(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 0..=self.retries {
+            total += self.timeout + self.backoff * attempt;
+        }
+        total
+    }
+
+    /// The options with timeout and backoff scaled for tree `level`.
+    fn at_level(&self, level: u32) -> ResilienceOptions {
+        let scale = 1u32 << level.min(20); // 2^20 × base ≫ any sane tree
+        ResilienceOptions {
+            timeout: self.timeout * scale,
+            retries: self.retries,
+            backoff: self.backoff * scale,
+        }
+    }
+}
+
+/// Which ranks' contributions made it into a resilient reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReduceCoverage {
+    /// Ranks whose values are folded into the result, ascending.
+    pub included: Vec<usize>,
+    /// Ranks whose values were lost (dead, or stranded behind a dead
+    /// ancestor), ascending. Complement of `included` in `0..size`.
+    pub lost: Vec<usize>,
+}
+
+impl ReduceCoverage {
+    /// True if every rank's contribution arrived.
+    pub fn is_complete(&self) -> bool {
+        self.lost.is_empty()
+    }
+}
+
+/// Receives one payload with retries per [`ResilienceOptions`].
+/// `Ok(None)` means the partner is presumed lost (every attempt timed
+/// out); hard disconnects (world shutdown) still propagate as errors.
+fn recv_with_retries<T: Send + 'static>(
+    comm: &mut Comm,
+    src: usize,
+    tag: Tag,
+    opts: &ResilienceOptions,
+) -> Result<Option<T>, CommError> {
+    for attempt in 0..=opts.retries {
+        let wait = opts.timeout + opts.backoff * attempt;
+        match comm.recv_timeout::<T>(src, tag, wait) {
+            Ok(v) => return Ok(Some(v)),
+            Err(CommError::Timeout { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Fault-tolerant binomial-tree reduction toward rank 0: dead subtrees
+/// are routed around instead of deadlocking or aborting the survivors.
+///
+/// Same tree as [`reduce_tree`], with two changes:
+///
+/// * every internal receive is bounded ([`Comm::recv_timeout`]) and
+///   retried per `opts`; a partner that stays silent is written off and
+///   the reduction continues without its subtree;
+/// * the payload carries, alongside the partial value, the list of
+///   ranks folded into it, so the root knows *exactly* which
+///   contributions the result covers — not just that "something" was
+///   lost.
+///
+/// Rank 0 returns `Some((merged, coverage))`; all other ranks `None`.
+/// When a partner dies *mid*-protocol (after receiving its children's
+/// values, before forwarding), its whole subtree is lost with it — the
+/// coverage report charges every rank of that subtree, which is exactly
+/// the set of values the dead rank had already absorbed.
+///
+/// The result is deterministic in the fault pattern: merge order is the
+/// tree order restricted to surviving subtrees, so for a fixed set of
+/// lost ranks the merged value equals a serial reduction over
+/// `coverage.included` in rank order (given associative `merge`).
+pub fn reduce_tree_resilient<T, F>(
+    comm: &mut Comm,
+    value: T,
+    mut merge: F,
+    opts: &ResilienceOptions,
+) -> Result<Option<(T, ReduceCoverage)>, CommError>
+where
+    T: Send + 'static,
+    F: FnMut(T, T) -> T,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut acc = value;
+    let mut included = vec![rank];
+    let mut step = 1usize;
+    let mut level: Tag = 0;
+    while step < size {
+        let tag = TAG_RESIL + level;
+        if rank.is_multiple_of(2 * step) {
+            let partner = rank + step;
+            if partner < size {
+                let level_opts = opts.at_level(level);
+                match recv_with_retries::<(T, Vec<usize>)>(comm, partner, tag, &level_opts)? {
+                    Some((incoming, their_ranks)) => {
+                        acc = merge(acc, incoming);
+                        included.extend(their_ranks);
+                    }
+                    None => {
+                        // Partner presumed dead; continue without its
+                        // subtree. The root's coverage report charges
+                        // the loss, as the subtree's ranks never enter
+                        // any `included` list.
+                    }
+                }
+            }
+        } else {
+            let parent = rank - step;
+            // A failed send means the parent is already dead: this
+            // rank's subtree is stranded and will show up in the root's
+            // lost set. That is exactly the semantics we want, so the
+            // error is not propagated — the rank simply retires.
+            let _ = comm.send(parent, tag, (acc, included));
+            return Ok(None);
+        }
+        step *= 2;
+        level += 1;
+    }
+    included.sort_unstable();
+    included.dedup();
+    let lost = (0..size).filter(|r| !included.contains(r)).collect();
+    Ok(Some((acc, ReduceCoverage { included, lost })))
 }
 
 /// Binomial-tree broadcast from rank 0.
@@ -104,7 +314,7 @@ where
     };
     let mut step = top;
     while step >= 1 {
-        if rank % (2 * step) == 0 {
+        if rank.is_multiple_of(2 * step) {
             if let Some(v) = &acc {
                 let partner = rank + step;
                 if partner < size {

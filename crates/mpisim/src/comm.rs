@@ -5,11 +5,33 @@
 //! a message matching `(source, tag)` arrives, buffering mismatched
 //! messages — the standard MPI matching semantics, minus wildcards on
 //! tags (a wildcard source is supported via [`Comm::recv_any`]).
+//!
+//! # Failure semantics
+//!
+//! A rank that dies (panics or is killed by a
+//! [`FaultPlan`]) drops its inbox receiver while the
+//! senders — shared from an `Arc` by every surviving rank — stay alive.
+//! The consequences, which fault-tolerant collectives must handle, are:
+//!
+//! * **sends to a dead rank fail** with [`CommError::Disconnected`]
+//!   (the channel sees zero receivers), *but only after the victim's
+//!   thread has finished unwinding* — a send that races the death may
+//!   still succeed and the message is simply lost;
+//! * **receives from a dead rank hang forever** under plain
+//!   [`recv`](Comm::recv): nothing will ever arrive, yet the channel
+//!   never disconnects because the receiving rank itself keeps every
+//!   sender alive. Bounded waiting therefore requires
+//!   [`recv_timeout`](Comm::recv_timeout), which turns the silent peer
+//!   into a [`CommError::Timeout`].
 
 use std::any::Any;
+use std::cell::Cell;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::fault::{FaultPlan, RankKilled};
 
 /// Message tag (as in MPI).
 pub type Tag = u32;
@@ -20,16 +42,65 @@ pub(crate) struct Packet {
     pub payload: Box<dyn Any + Send>,
 }
 
-/// Communication error: peer disconnected (rank panicked or exited).
+/// A point-to-point communication failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CommError {
-    /// Description of the failure.
-    pub message: String,
+pub enum CommError {
+    /// The peer (or the whole world) has shut down: its channel
+    /// endpoint is gone, so the operation can never complete.
+    Disconnected {
+        /// What was being attempted, e.g. `"send to rank 3"`.
+        context: String,
+    },
+    /// No matching message arrived before the deadline. The peer may be
+    /// dead, delayed, or deadlocked — from the caller's side these are
+    /// indistinguishable, which is precisely why bounded waits exist.
+    Timeout {
+        /// What was being attempted, e.g. `"recv from rank 1, tag 5"`.
+        context: String,
+        /// How long the caller waited.
+        after: Duration,
+    },
+}
+
+impl CommError {
+    pub(crate) fn disconnected(context: impl Into<String>) -> CommError {
+        CommError::Disconnected {
+            context: context.into(),
+        }
+    }
+
+    pub(crate) fn timeout(context: impl Into<String>, after: Duration) -> CommError {
+        CommError::Timeout {
+            context: context.into(),
+            after,
+        }
+    }
+
+    /// True for [`CommError::Timeout`].
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, CommError::Timeout { .. })
+    }
+
+    /// True for [`CommError::Disconnected`].
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, CommError::Disconnected { .. })
+    }
 }
 
 impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "communication error: {}", self.message)
+        match self {
+            CommError::Disconnected { context } => {
+                write!(f, "communication error: {context}: peer has shut down")
+            }
+            CommError::Timeout { context, after } => {
+                write!(
+                    f,
+                    "communication error: {context}: timed out after {:.3}s",
+                    after.as_secs_f64()
+                )
+            }
+        }
     }
 }
 
@@ -43,6 +114,11 @@ pub struct Comm {
     inbox: Receiver<Packet>,
     /// Messages received but not yet matched.
     pending: Vec<Packet>,
+    /// Faults scripted for this world, if any.
+    faults: Option<Arc<FaultPlan>>,
+    /// Number of communication operations this rank has issued; the
+    /// fault plan's notion of time.
+    ops: Cell<u64>,
 }
 
 impl Comm {
@@ -51,6 +127,7 @@ impl Comm {
         size: usize,
         inboxes: Arc<Vec<Sender<Packet>>>,
         inbox: Receiver<Packet>,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Comm {
         Comm {
             rank,
@@ -58,6 +135,8 @@ impl Comm {
             inboxes,
             inbox,
             pending: Vec::new(),
+            faults,
+            ops: Cell::new(0),
         }
     }
 
@@ -71,18 +150,39 @@ impl Comm {
         self.size
     }
 
+    /// Number of communication operations this rank has issued so far —
+    /// the time axis a [`FaultPlan`] is scripted in.
+    pub fn ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// Consults the fault plan before a communication operation: sleeps
+    /// through any scripted delay, then unwinds if this is the op the
+    /// rank is scripted to die at.
+    fn fault_point(&self) {
+        let op = self.ops.get();
+        self.ops.set(op + 1);
+        let Some(plan) = &self.faults else { return };
+        if let Some(d) = plan.delay_at(self.rank, op) {
+            std::thread::sleep(d);
+        }
+        if plan.kill_at(self.rank, op) {
+            std::panic::panic_any(RankKilled);
+        }
+    }
+
     /// Send `value` to `dest` with `tag`. Non-blocking (buffered send).
+    /// Fails with [`CommError::Disconnected`] if `dest` has shut down.
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> Result<(), CommError> {
         assert!(dest < self.size, "send to rank {dest} out of range");
+        self.fault_point();
         self.inboxes[dest]
             .send(Packet {
                 src: self.rank,
                 tag,
                 payload: Box::new(value),
             })
-            .map_err(|_| CommError {
-                message: format!("rank {dest} has shut down"),
-            })
+            .map_err(|_| CommError::disconnected(format!("send to rank {dest}")))
     }
 
     fn take_pending(&mut self, src: Option<usize>, tag: Tag) -> Option<Packet> {
@@ -93,14 +193,43 @@ impl Comm {
         Some(self.pending.remove(idx))
     }
 
-    fn recv_packet(&mut self, src: Option<usize>, tag: Tag) -> Result<Packet, CommError> {
+    fn recv_context(src: Option<usize>, tag: Tag) -> String {
+        match src {
+            Some(s) => format!("recv from rank {s}, tag {tag}"),
+            None => format!("recv from any rank, tag {tag}"),
+        }
+    }
+
+    fn recv_packet(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Packet, CommError> {
+        self.fault_point();
         if let Some(p) = self.take_pending(src, tag) {
             return Ok(p);
         }
+        let deadline = timeout.map(|t| (Instant::now() + t, t));
         loop {
-            let packet = self.inbox.recv().map_err(|_| CommError {
-                message: "world has shut down".to_string(),
-            })?;
+            let packet = match deadline {
+                None => self
+                    .inbox
+                    .recv()
+                    .map_err(|_| CommError::disconnected(Self::recv_context(src, tag)))?,
+                Some((deadline, total)) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match self.inbox.recv_timeout(remaining) {
+                        Ok(p) => p,
+                        Err(RecvTimeoutError::Timeout) => {
+                            return Err(CommError::timeout(Self::recv_context(src, tag), total));
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(CommError::disconnected(Self::recv_context(src, tag)));
+                        }
+                    }
+                }
+            };
             let matches = packet.tag == tag && src.map(|s| s == packet.src).unwrap_or(true);
             if matches {
                 return Ok(packet);
@@ -109,28 +238,52 @@ impl Comm {
         }
     }
 
+    fn downcast<T: Send + 'static>(packet: Packet, context: &str) -> T {
+        *packet
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch on {context}"))
+    }
+
     /// Blocking receive of a `T` from `src` with `tag`. Panics if the
     /// matching message's payload has a different type — a type-level
     /// protocol mismatch is a bug, not a runtime condition.
     pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Result<T, CommError> {
-        let packet = self.recv_packet(Some(src), tag)?;
-        Ok(*packet
-            .payload
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("type mismatch on recv(src={src}, tag={tag})")))
+        let packet = self.recv_packet(Some(src), tag, None)?;
+        Ok(Self::downcast(packet, &Self::recv_context(Some(src), tag)))
+    }
+
+    /// Like [`recv`](Comm::recv), but gives up with
+    /// [`CommError::Timeout`] once `timeout` elapses without a matching
+    /// message. The building block of fault-tolerant collectives: a dead
+    /// peer never disconnects this rank's inbox (every surviving rank
+    /// keeps all senders alive), it just goes silent.
+    pub fn recv_timeout<T: Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        let packet = self.recv_packet(Some(src), tag, Some(timeout))?;
+        Ok(Self::downcast(packet, &Self::recv_context(Some(src), tag)))
     }
 
     /// Blocking receive from any source; returns `(source, value)`.
     pub fn recv_any<T: Send + 'static>(&mut self, tag: Tag) -> Result<(usize, T), CommError> {
-        let packet = self.recv_packet(None, tag)?;
+        let packet = self.recv_packet(None, tag, None)?;
         let src = packet.src;
-        Ok((
-            src,
-            *packet
-                .payload
-                .downcast::<T>()
-                .unwrap_or_else(|_| panic!("type mismatch on recv_any(tag={tag})")),
-        ))
+        Ok((src, Self::downcast(packet, &Self::recv_context(None, tag))))
+    }
+
+    /// Bounded-wait variant of [`recv_any`](Comm::recv_any).
+    pub fn recv_any_timeout<T: Send + 'static>(
+        &mut self,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(usize, T), CommError> {
+        let packet = self.recv_packet(None, tag, Some(timeout))?;
+        let src = packet.src;
+        Ok((src, Self::downcast(packet, &Self::recv_context(None, tag))))
     }
 }
 

@@ -1,0 +1,94 @@
+//! Deterministic fault injection for the simulated world.
+//!
+//! A [`FaultPlan`] describes, ahead of a run, which ranks misbehave and
+//! when. "When" is measured in **communication operations**: every
+//! `send`/`recv`/`recv_any` (and their timeout variants) a rank issues
+//! counts as one step, starting from 0. Pinning faults to the op counter
+//! rather than wall-clock time makes failure tests reproducible: killing
+//! rank 2 at op 1 kills it *after* it received its child's contribution
+//! and *before* it forwarded the merged value, every single run.
+//!
+//! Faults are injected *at* the fault point, before the operation takes
+//! effect:
+//!
+//! * a **kill** unwinds the rank's thread (its inbox is dropped, so
+//!   later sends to it fail with
+//!   [`CommError::Disconnected`](crate::CommError::Disconnected) and
+//!   pending receives from it time out);
+//! * a **delay** sleeps the rank before the operation proceeds,
+//!   modelling a straggler rather than a crash.
+//!
+//! Plans are executed by [`crate::world::run_with_faults`]; the plain
+//! [`crate::world::run`] never injects anything.
+
+use std::time::Duration;
+
+/// Scripted faults for one simulated world run.
+///
+/// Build with the fluent constructors and hand to
+/// [`run_with_faults`](crate::world::run_with_faults):
+///
+/// ```
+/// use std::time::Duration;
+/// use mpisim::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .kill(3, 0)                                  // rank 3 dies at its first comm op
+///     .delay(1, 0, Duration::from_millis(20));     // rank 1 stalls before its first op
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    kills: Vec<(usize, u64)>,
+    delays: Vec<(usize, u64, Duration)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Kill `rank` when it reaches communication operation `at_op`
+    /// (0-based). The rank's thread unwinds at that point; its return
+    /// value in the run's output is `None`.
+    pub fn kill(mut self, rank: usize, at_op: u64) -> FaultPlan {
+        self.kills.push((rank, at_op));
+        self
+    }
+
+    /// Delay `rank` by `by` immediately before its communication
+    /// operation `at_op` (0-based). The rank survives; it is merely a
+    /// straggler.
+    pub fn delay(mut self, rank: usize, at_op: u64, by: Duration) -> FaultPlan {
+        self.delays.push((rank, at_op, by));
+        self
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.delays.is_empty()
+    }
+
+    /// True if the plan kills any rank anywhere.
+    pub fn has_kills(&self) -> bool {
+        !self.kills.is_empty()
+    }
+
+    pub(crate) fn kill_at(&self, rank: usize, op: u64) -> bool {
+        self.kills.iter().any(|&(r, o)| r == rank && o == op)
+    }
+
+    pub(crate) fn delay_at(&self, rank: usize, op: u64) -> Option<Duration> {
+        self.delays
+            .iter()
+            .filter(|&&(r, o, _)| r == rank && o == op)
+            .map(|&(_, _, d)| d)
+            .reduce(|a, b| a + b)
+    }
+}
+
+/// Panic payload used to unwind a rank scheduled for death. The world
+/// launcher downcasts for it to tell an injected kill (expected, maps to
+/// `None`) from a genuine bug in rank code (propagated).
+pub(crate) struct RankKilled;

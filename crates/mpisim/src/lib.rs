@@ -7,6 +7,13 @@
 //! the binomial-tree reduction of §IV-C — are implemented verbatim on
 //! top of point-to-point messages.
 //!
+//! Beyond the fault-free collectives, the crate models *failure*: a
+//! [`FaultPlan`] scripts rank deaths and delays deterministically
+//! (by communication-op index), [`run_with_faults`] executes a world
+//! under such a plan, and [`reduce_tree_resilient`] is a reduction that
+//! routes around dead subtrees, reporting exactly which ranks'
+//! contributions the result covers ([`ReduceCoverage`]).
+//!
 //! ```
 //! use mpisim::{run, reduce_tree};
 //!
@@ -21,8 +28,13 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod world;
 
-pub use collectives::{allreduce, barrier, broadcast, gather, reduce_tree, reduce_tree_timed};
+pub use collectives::{
+    allreduce, barrier, broadcast, gather, reduce_tree, reduce_tree_resilient, reduce_tree_timed,
+    reduce_tree_timeout, ReduceCoverage, ResilienceOptions,
+};
 pub use comm::{Comm, CommError, Tag};
-pub use world::run;
+pub use fault::FaultPlan;
+pub use world::{run, run_with_faults};

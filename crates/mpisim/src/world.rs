@@ -1,10 +1,12 @@
 //! The world launcher: runs N ranks as OS threads.
 
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Once};
 
 use crossbeam::channel::unbounded;
 
 use crate::comm::{Comm, Packet};
+use crate::fault::{FaultPlan, RankKilled};
 
 /// Run `body` on `size` simulated ranks, each on its own thread, and
 /// collect the per-rank return values in rank order.
@@ -12,6 +14,71 @@ use crate::comm::{Comm, Packet};
 /// Panics in any rank propagate (the world aborts with that panic), so
 /// test assertions inside ranks behave as expected.
 pub fn run<R, F>(size: usize, body: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    launch(size, None, body)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| match r {
+            Ok(r) => r,
+            Err(e) => resume_rank_panic(rank, e),
+        })
+        .collect()
+}
+
+/// Run `body` on `size` simulated ranks under a scripted [`FaultPlan`].
+///
+/// Ranks the plan kills unwind at their scripted communication op and
+/// contribute `None`; every surviving rank's return value comes back as
+/// `Some(..)`, in rank order. A rank that panics for any *other* reason
+/// still propagates — fault injection must not swallow genuine bugs in
+/// rank code (including test assertions).
+///
+/// ```
+/// use mpisim::{run_with_faults, FaultPlan};
+///
+/// let out = run_with_faults(3, FaultPlan::new().kill(1, 0), |mut comm| {
+///     if comm.rank() == 1 {
+///         // First comm op: scripted death, never returns.
+///         let _ = comm.send(0, 0, ());
+///     }
+///     comm.rank()
+/// });
+/// assert_eq!(out, vec![Some(0), None, Some(2)]);
+/// ```
+pub fn run_with_faults<R, F>(size: usize, plan: FaultPlan, body: F) -> Vec<Option<R>>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    if plan.has_kills() {
+        silence_injected_kill_panics();
+    }
+    let faults = if plan.is_empty() {
+        None
+    } else {
+        Some(Arc::new(plan))
+    };
+    launch(size, faults, body)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| match r {
+            Ok(r) => Some(r),
+            Err(e) if e.is::<RankKilled>() => None,
+            Err(e) => resume_rank_panic(rank, e),
+        })
+        .collect()
+}
+
+/// Spawns the rank threads and joins them, returning each rank's
+/// outcome: its return value, or the panic payload it unwound with.
+fn launch<R, F>(
+    size: usize,
+    faults: Option<Arc<FaultPlan>>,
+    body: F,
+) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
 where
     R: Send + 'static,
     F: Fn(Comm) -> R + Send + Sync + 'static,
@@ -31,34 +98,57 @@ where
     for (rank, inbox) in receivers.into_iter().enumerate() {
         let inboxes = Arc::clone(&inboxes);
         let body = Arc::clone(&body);
+        let faults = faults.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .spawn(move || {
-                    let comm = Comm::new(rank, size, inboxes, inbox);
-                    body(comm)
+                    let comm = Comm::new(rank, size, inboxes, inbox, faults);
+                    // Catch the unwind here so the Comm (and with it the
+                    // rank's inbox receiver) is dropped the moment the
+                    // rank dies — that drop is what lets survivors see
+                    // sends to this rank fail.
+                    std::panic::catch_unwind(AssertUnwindSafe(|| body(comm)))
                 })
                 .expect("spawn rank thread"),
         );
     }
     handles
         .into_iter()
-        .enumerate()
-        .map(|(rank, h)| match h.join() {
-            Ok(r) => r,
-            Err(e) => std::panic::resume_unwind(Box::new(format!(
-                "rank {rank} panicked: {:?}",
-                e.downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
-            ))),
-        })
+        .map(|h| h.join().unwrap_or_else(|e| Err(e)))
         .collect()
+}
+
+fn resume_rank_panic(rank: usize, e: Box<dyn std::any::Any + Send>) -> ! {
+    std::panic::resume_unwind(Box::new(format!(
+        "rank {rank} panicked: {:?}",
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+    )))
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// "thread panicked" stderr message for [`RankKilled`] unwinds — those
+/// are scripted, expected deaths, not noise-worthy failures. All other
+/// panics go to the previously installed hook untouched.
+fn silence_injected_kill_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<RankKilled>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn ranks_see_their_ids() {
@@ -118,5 +208,83 @@ mod tests {
     fn single_rank_world() {
         let out = run(1, |comm| comm.size());
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn recv_timeout_bounds_the_wait() {
+        let out = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                // Rank 1 never sends: the wait must end in a timeout.
+                let err = comm
+                    .recv_timeout::<u64>(1, 9, Duration::from_millis(40))
+                    .unwrap_err();
+                assert!(err.is_timeout(), "{err}");
+                true
+            } else {
+                true
+            }
+        });
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn killed_rank_maps_to_none_and_faults_dont_leak() {
+        let out = run_with_faults(3, FaultPlan::new().kill(2, 0), |mut comm| {
+            match comm.rank() {
+                0 => {
+                    let v: u64 = comm.recv(1, 0).unwrap();
+                    v
+                }
+                1 => {
+                    comm.send(0, 0, 41u64).unwrap();
+                    1
+                }
+                _ => {
+                    // First op is the scripted death.
+                    let _ = comm.send(0, 0, 99u64);
+                    unreachable!("rank 2 is killed at op 0")
+                }
+            }
+        });
+        assert_eq!(out, vec![Some(41), Some(1), None]);
+    }
+
+    #[test]
+    fn delays_make_stragglers_not_corpses() {
+        let t0 = std::time::Instant::now();
+        let out = run_with_faults(
+            2,
+            FaultPlan::new().delay(1, 0, Duration::from_millis(50)),
+            |mut comm| {
+                if comm.rank() == 0 {
+                    comm.recv::<u64>(1, 0).unwrap()
+                } else {
+                    comm.send(0, 0, 7u64).unwrap();
+                    7
+                }
+            },
+        );
+        assert_eq!(out, vec![Some(7), Some(7)]);
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn sends_to_a_dead_rank_eventually_disconnect() {
+        let out = run_with_faults(2, FaultPlan::new().kill(1, 0), |mut comm| {
+            if comm.rank() == 0 {
+                // Rank 1 dies on its first op; once its inbox is gone our
+                // sends fail. Retry until the death becomes observable.
+                loop {
+                    if comm.send(1, 0, 1u64).is_err() {
+                        return true;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            } else {
+                let _ = comm.recv::<u64>(0, 0);
+                unreachable!("rank 1 is killed at op 0")
+            }
+        });
+        assert_eq!(out, vec![Some(true), None]);
     }
 }

@@ -1,0 +1,202 @@
+//! Failure injection for the simulated MPI world: scripted rank deaths
+//! and delays against the tree reduction.
+//!
+//! The deadlock regression and lost-set tests here pin the failure
+//! model documented in DESIGN.md: a dead rank makes its parent's
+//! bounded receive time out (never hang), and the resilient reduction
+//! reports *exactly* which ranks' contributions the merged result
+//! covers.
+
+use std::time::{Duration, Instant};
+
+use mpisim::{
+    reduce_tree, reduce_tree_resilient, reduce_tree_timeout, FaultPlan, ReduceCoverage,
+    ResilienceOptions, run, run_with_faults,
+};
+
+/// Runs `f` on a watchdog thread; panics if it does not finish within
+/// `limit`. Guards the deadlock-regression tests: if bounded receives
+/// regress into unbounded ones, the test fails instead of hanging the
+/// whole suite.
+fn with_deadline<R: Send + 'static>(limit: Duration, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(limit)
+        .expect("world did not finish within the deadline: deadlock regression")
+}
+
+fn quick_opts() -> ResilienceOptions {
+    ResilienceOptions {
+        timeout: Duration::from_millis(100),
+        retries: 1,
+        backoff: Duration::from_millis(50),
+    }
+}
+
+/// One rank-bit per contribution: the merged value states exactly which
+/// ranks were folded in, so coverage claims are checkable bit-for-bit.
+fn rank_bit(rank: usize) -> u64 {
+    1u64 << rank
+}
+
+fn bits_of(ranks: &[usize]) -> u64 {
+    ranks.iter().map(|&r| rank_bit(r)).fold(0, |a, b| a | b)
+}
+
+#[test]
+fn killed_rank_turns_deadlock_into_timeout() {
+    // Rank 1's only role in the 4-rank tree is to send to rank 0 at
+    // level 0. Killing it at its first comm op leaves rank 0 waiting on
+    // a message that never comes: a plain reduce_tree would hang, the
+    // bounded variant must report a timeout promptly.
+    let results = with_deadline(Duration::from_secs(20), || {
+        run_with_faults(4, FaultPlan::new().kill(1, 0), |mut comm| {
+            let t0 = Instant::now();
+            let mine = rank_bit(comm.rank());
+            let out = reduce_tree_timeout(&mut comm, mine, |a, b| a | b, Duration::from_millis(100));
+            (out, t0.elapsed())
+        })
+    });
+    assert!(results[1].is_none(), "killed rank must not return");
+    let (root_result, root_elapsed) = results[0].as_ref().unwrap();
+    let err = root_result.as_ref().unwrap_err();
+    assert!(err.is_timeout(), "expected a timeout, got: {err}");
+    assert!(
+        *root_elapsed < Duration::from_secs(10),
+        "timeout took {root_elapsed:?}: the wait is not bounded"
+    );
+    // Ranks 2 and 3 are upstream of the failure at level 0 and finish
+    // their sends/receives; rank 2's final send races rank 0's teardown
+    // so either a clean retirement or a disconnect is acceptable — the
+    // only outlawed outcome is a hang (covered by the deadline).
+    assert!(results[3].is_some());
+}
+
+#[test]
+fn resilient_reduction_reports_a_killed_leaf_exactly() {
+    let results = with_deadline(Duration::from_secs(20), || {
+        run_with_faults(8, FaultPlan::new().kill(5, 0), |mut comm| {
+            let mine = rank_bit(comm.rank());
+            reduce_tree_resilient(&mut comm, mine, |a, b| a | b, &quick_opts())
+        })
+    });
+    let (merged, coverage) = results[0]
+        .as_ref()
+        .unwrap()
+        .as_ref()
+        .unwrap()
+        .as_ref()
+        .unwrap();
+    assert_eq!(coverage.lost, vec![5], "exact lost set");
+    assert_eq!(coverage.included, vec![0, 1, 2, 3, 4, 6, 7]);
+    assert_eq!(*merged, bits_of(&coverage.included));
+    assert!(!coverage.is_complete());
+}
+
+#[test]
+fn resilient_reduction_loses_a_dead_internal_nodes_subtree() {
+    // Rank 2's comm ops in an 8-rank tree: op 0 = recv from rank 3
+    // (level 0), op 1 = send to rank 0 (level 1). Killing it at op 1
+    // means it dies *holding* rank 3's contribution — the classic
+    // mid-protocol failure. The root must charge the whole {2, 3}
+    // subtree as lost, and the merged value must cover exactly the
+    // survivors' contributions.
+    let results = with_deadline(Duration::from_secs(20), || {
+        run_with_faults(8, FaultPlan::new().kill(2, 1), |mut comm| {
+            let mine = rank_bit(comm.rank());
+            reduce_tree_resilient(&mut comm, mine, |a, b| a | b, &quick_opts())
+        })
+    });
+    assert!(results[2].is_none());
+    let (merged, coverage) = results[0]
+        .as_ref()
+        .unwrap()
+        .as_ref()
+        .unwrap()
+        .as_ref()
+        .unwrap();
+    assert_eq!(coverage.lost, vec![2, 3]);
+    assert_eq!(coverage.included, vec![0, 1, 4, 5, 6, 7]);
+    assert_eq!(*merged, bits_of(&coverage.included));
+}
+
+#[test]
+fn resilient_matches_plain_reduction_when_fault_free() {
+    for size in [1usize, 2, 3, 5, 8, 13] {
+        let resilient = run(size, |mut comm| {
+            let mine = rank_bit(comm.rank());
+            reduce_tree_resilient(&mut comm, mine, |a, b| a | b, &ResilienceOptions::default())
+                .unwrap()
+        });
+        let plain = run(size, |mut comm| {
+            let mine = rank_bit(comm.rank());
+            reduce_tree(&mut comm, mine, |a, b| a | b).unwrap()
+        });
+        let (merged, coverage) = resilient[0].clone().unwrap();
+        assert_eq!(Some(merged), plain[0], "size {size}");
+        assert!(coverage.is_complete(), "size {size}: {coverage:?}");
+        assert_eq!(coverage.included, (0..size).collect::<Vec<_>>());
+        assert!(resilient[1..].iter().all(Option::is_none));
+    }
+}
+
+#[test]
+fn delayed_straggler_is_still_included() {
+    // Rank 1 stalls 150ms before its send; a single 100ms receive
+    // attempt would give up, but the retry budget (100 + 150 = 250ms
+    // total) comfortably covers the straggler. Nothing may be lost.
+    let opts = quick_opts();
+    assert!(opts.total_wait() > Duration::from_millis(150));
+    let results = with_deadline(Duration::from_secs(20), move || {
+        run_with_faults(
+            4,
+            FaultPlan::new().delay(1, 0, Duration::from_millis(150)),
+            move |mut comm| {
+                let mine = rank_bit(comm.rank());
+                reduce_tree_resilient(&mut comm, mine, |a, b| a | b, &opts)
+            },
+        )
+    });
+    let (merged, coverage) = results[0]
+        .as_ref()
+        .unwrap()
+        .as_ref()
+        .unwrap()
+        .as_ref()
+        .unwrap();
+    assert!(coverage.is_complete(), "{coverage:?}");
+    assert_eq!(*merged, bits_of(&[0, 1, 2, 3]));
+}
+
+#[test]
+fn every_single_rank_kill_is_self_consistent() {
+    // Whatever single non-root rank dies, and whenever (op 0 or 1), the
+    // root's answer must satisfy the coverage invariants: included and
+    // lost partition the world, the killed rank is lost, and the merged
+    // bits equal exactly the included set.
+    let size = 8usize;
+    for victim in 1..size {
+        // Leaves (odd ranks) issue exactly one comm op (their level-0
+        // send); internal nodes issue at least two. Only script kills
+        // at ops the victim actually reaches.
+        let victim_ops = if victim % 2 == 1 { 1 } else { 2 };
+        for op in 0..victim_ops as u64 {
+            let results = with_deadline(Duration::from_secs(30), move || {
+                run_with_faults(size, FaultPlan::new().kill(victim, op), |mut comm| {
+                    let mine = rank_bit(comm.rank());
+                    reduce_tree_resilient(&mut comm, mine, |a, b| a | b, &quick_opts())
+                })
+            });
+            assert!(results[victim].is_none(), "victim {victim} op {op}");
+            let root = results[0].as_ref().unwrap().as_ref().unwrap();
+            let (merged, ReduceCoverage { included, lost }) = root.as_ref().unwrap();
+            let mut all: Vec<usize> = included.iter().chain(lost.iter()).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..size).collect::<Vec<_>>(), "victim {victim} op {op}");
+            assert!(lost.contains(&victim), "victim {victim} op {op}: {lost:?}");
+            assert_eq!(*merged, bits_of(included), "victim {victim} op {op}");
+        }
+    }
+}

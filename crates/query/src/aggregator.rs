@@ -22,6 +22,10 @@ use caliper_data::{
 use crate::ast::{AggOp, OpKind, QuerySpec};
 use crate::ops::Reducer;
 
+/// Key value of the overflow bucket in flushed results (the same
+/// sentinel upstream Caliper uses when its aggregation buffers fill).
+pub const OVERFLOW_KEY: &str = "__overflow__";
+
 /// Configuration of an aggregation: operators + key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregationSpec {
@@ -82,6 +86,26 @@ type Key = Box<[Option<Value>]>;
 #[derive(Debug, Clone)]
 struct DbEntry {
     reducers: Vec<Reducer>,
+    /// Input records folded into this entry (for capacity reporting;
+    /// unlike the `count` op this is tracked even without one).
+    records: u64,
+}
+
+impl DbEntry {
+    fn fresh(ops: &[AggOp]) -> DbEntry {
+        DbEntry {
+            reducers: ops.iter().map(Reducer::new).collect(),
+            records: 0,
+        }
+    }
+
+    /// Fold another entry of the same spec into this one.
+    fn fold(&mut self, other: &DbEntry) {
+        for (mine, theirs) in self.reducers.iter_mut().zip(&other.reducers) {
+            mine.merge(theirs);
+        }
+        self.records += other.records;
+    }
 }
 
 /// The streaming aggregator.
@@ -92,6 +116,14 @@ pub struct Aggregator {
     target_slots: Vec<Slot>,
     db: std::collections::HashMap<Key, DbEntry, FxBuildHasher>,
     records_processed: u64,
+    /// Capacity bound on `db` (None = unbounded, the historical mode).
+    max_groups: Option<usize>,
+    /// The overflow bucket: once `db` holds `max_groups` keys, records
+    /// with *new* keys fold in here instead of growing the database, so
+    /// a cardinality explosion degrades to coarser totals instead of
+    /// unbounded memory. Kept outside `db` so the `len() <= cap`
+    /// invariant is structural.
+    overflow: Option<DbEntry>,
 }
 
 impl Aggregator {
@@ -106,7 +138,33 @@ impl Aggregator {
             target_slots,
             db: Default::default(),
             records_processed: 0,
+            max_groups: None,
+            overflow: None,
         }
+    }
+
+    /// Bound the aggregation database to at most `cap` groups; further
+    /// keys fold into the [`OVERFLOW_KEY`] bucket. `None` removes the
+    /// bound.
+    pub fn set_max_groups(&mut self, cap: Option<usize>) {
+        self.max_groups = cap;
+    }
+
+    /// The configured group capacity, if any.
+    pub fn max_groups(&self) -> Option<usize> {
+        self.max_groups
+    }
+
+    /// True once any record or merged group has landed in the overflow
+    /// bucket.
+    pub fn has_overflow(&self) -> bool {
+        self.overflow.is_some()
+    }
+
+    /// Number of input records folded into the overflow bucket (0 when
+    /// the capacity was never exceeded).
+    pub fn overflow_records(&self) -> u64 {
+        self.overflow.as_ref().map_or(0, |e| e.records)
     }
 
     /// The aggregation spec.
@@ -155,11 +213,19 @@ impl Aggregator {
         }
         let key: Key = key.into_boxed_slice();
 
-        // Locate or create the aggregation entry.
+        // Locate or create the aggregation entry. At capacity, records
+        // with new keys fold into the overflow bucket (first-come
+        // admission, like upstream Caliper's fixed aggregation buffers).
         let spec_ops = &self.spec.ops;
-        let entry = self.db.entry(key).or_insert_with(|| DbEntry {
-            reducers: spec_ops.iter().map(Reducer::new).collect(),
-        });
+        let at_cap = self.max_groups.is_some_and(|cap| self.db.len() >= cap);
+        let entry = if at_cap && !self.db.contains_key(&key) {
+            self.overflow.get_or_insert_with(|| DbEntry::fresh(spec_ops))
+        } else {
+            self.db
+                .entry(key)
+                .or_insert_with(|| DbEntry::fresh(spec_ops))
+        };
+        entry.records += 1;
 
         // Fold the aggregation attributes into the entry.
         for (i, op) in self.spec.ops.iter().enumerate() {
@@ -181,21 +247,68 @@ impl Aggregator {
 
     /// Merge another aggregator's database into this one (cross-process
     /// reduction). Both must have the same spec.
+    ///
+    /// When a group capacity is set, the incoming groups are applied in
+    /// sorted key order, so which keys win admission — and therefore the
+    /// output — depends only on the *sequence* of merges (which callers
+    /// keep deterministic), never on hash-map iteration order.
     pub fn merge(&mut self, other: Aggregator) {
         debug_assert_eq!(self.spec, other.spec, "merging mismatched aggregations");
         self.records_processed += other.records_processed;
-        for (key, entry) in other.db {
-            match self.db.entry(key) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (mine, theirs) in e.get_mut().reducers.iter_mut().zip(&entry.reducers) {
-                        mine.merge(theirs);
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(v) => {
+        if let Some(theirs) = other.overflow {
+            let spec_ops = &self.spec.ops;
+            self.overflow
+                .get_or_insert_with(|| DbEntry::fresh(spec_ops))
+                .fold(&theirs);
+        }
+        if self.max_groups.is_some() {
+            let mut incoming: Vec<(Key, DbEntry)> = other.db.into_iter().collect();
+            incoming.sort_by(|a, b| Self::key_cmp(&a.0, &b.0));
+            for (key, entry) in incoming {
+                self.merge_entry(key, entry);
+            }
+        } else {
+            for (key, entry) in other.db {
+                self.merge_entry(key, entry);
+            }
+        }
+    }
+
+    /// Merge one group into the database, honoring the capacity bound.
+    fn merge_entry(&mut self, key: Key, entry: DbEntry) {
+        let at_cap = self.max_groups.is_some_and(|cap| self.db.len() >= cap);
+        match self.db.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().fold(&entry);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if at_cap {
+                    let spec_ops = &self.spec.ops;
+                    self.overflow
+                        .get_or_insert_with(|| DbEntry::fresh(spec_ops))
+                        .fold(&entry);
+                } else {
                     v.insert(entry);
                 }
             }
         }
+    }
+
+    /// Total order on aggregation keys (slot-wise; absent sorts first) —
+    /// the comparator behind deterministic flush and capped merges.
+    fn key_cmp(a: &Key, b: &Key) -> std::cmp::Ordering {
+        for (va, vb) in a.iter().zip(b.iter()) {
+            let ord = match (va, vb) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(va), Some(vb)) => va.total_cmp(vb),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
     }
 
     /// Flush the database into result records, interning result
@@ -206,6 +319,11 @@ impl Aggregator {
     /// reconstructing the key attributes, and appending the reduction
     /// results".
     pub fn flush(&self, out_store: &AttributeStore) -> Vec<FlatRecord> {
+        // When the overflow bucket is live its row carries the string
+        // sentinel in every key column, so key columns must be typed as
+        // strings; ordinary key values coerce to their string rendering.
+        let has_overflow = self.overflow.is_some();
+
         // Resolve key attributes for output (they may exist only in the
         // input store; intern them into out_store as strings-preserving).
         let key_attrs: Vec<Option<Attribute>> = self
@@ -215,16 +333,16 @@ impl Aggregator {
             .map(|label| {
                 // Determine the output type: use the input attribute's
                 // type if known, else guess from the first value seen.
-                let vtype = self
-                    .store
-                    .find(label)
-                    .map(|a| a.value_type())
-                    .or_else(|| {
+                let vtype = if has_overflow {
+                    Some(ValueType::Str)
+                } else {
+                    self.store.find(label).map(|a| a.value_type()).or_else(|| {
                         self.db.iter().find_map(|(key, _)| {
                             let idx = self.spec.key.iter().position(|l| l == label)?;
                             key[idx].as_ref().map(|v| v.value_type())
                         })
-                    });
+                    })
+                };
                 vtype.map(|t| {
                     out_store
                         .create(label, t, Properties::DEFAULT)
@@ -236,7 +354,7 @@ impl Aggregator {
         // Determine result types per op: join over all entries.
         let mut result_types: Vec<Option<ValueType>> = vec![None; self.spec.ops.len()];
         let denominators = self.percent_denominators();
-        for entry in self.db.values() {
+        for entry in self.db.values().chain(self.overflow.iter()) {
             for (i, red) in entry.reducers.iter().enumerate() {
                 if let Some(v) = red.finish(denominators[i]) {
                     let t = v.value_type();
@@ -268,45 +386,48 @@ impl Aggregator {
 
         // Sort keys for deterministic output.
         let mut keys: Vec<&Key> = self.db.keys().collect();
-        keys.sort_by(|a, b| {
-            for (va, vb) in a.iter().zip(b.iter()) {
-                let ord = match (va, vb) {
-                    (None, None) => std::cmp::Ordering::Equal,
-                    (None, Some(_)) => std::cmp::Ordering::Less,
-                    (Some(_), None) => std::cmp::Ordering::Greater,
-                    (Some(va), Some(vb)) => va.total_cmp(vb),
-                };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        keys.sort_by(|a, b| Self::key_cmp(a, b));
 
-        let mut out = Vec::with_capacity(keys.len());
+        // Widen a finished value to its attribute's joined type so the
+        // output stream is type-consistent.
+        let coerce = |attr: &Attribute, value: Value| match (attr.value_type(), &value) {
+            (ValueType::Float, v) if v.value_type() != ValueType::Float => {
+                Value::Float(v.to_f64().unwrap_or(0.0))
+            }
+            (ValueType::Str, v) if v.value_type() != ValueType::Str => Value::str(v.to_string()),
+            _ => value,
+        };
+
+        let mut out = Vec::with_capacity(keys.len() + has_overflow as usize);
         for key in keys {
             let entry = &self.db[key];
             let mut rec = FlatRecord::new();
             for (slot, attr) in key.iter().zip(&key_attrs) {
                 if let (Some(value), Some(attr)) = (slot, attr) {
-                    rec.push(attr.id(), value.clone());
+                    rec.push(attr.id(), coerce(attr, value.clone()));
                 }
             }
             for (i, red) in entry.reducers.iter().enumerate() {
                 if let (Some(value), Some(attr)) = (red.finish(denominators[i]), &result_attrs[i])
                 {
-                    // Widen to the attribute's joined type so the output
-                    // stream is type-consistent.
-                    let coerced = match (attr.value_type(), &value) {
-                        (ValueType::Float, v) if v.value_type() != ValueType::Float => {
-                            Value::Float(v.to_f64().unwrap_or(0.0))
-                        }
-                        (ValueType::Str, v) if v.value_type() != ValueType::Str => {
-                            Value::str(v.to_string())
-                        }
-                        _ => value,
-                    };
-                    rec.push(attr.id(), coerced);
+                    rec.push(attr.id(), coerce(attr, value));
+                }
+            }
+            out.push(rec);
+        }
+
+        // The overflow bucket flushes last: one row, keyed by the
+        // sentinel in every key column, carrying the combined reductions
+        // of every group that did not fit the capacity bound.
+        if let Some(entry) = &self.overflow {
+            let mut rec = FlatRecord::new();
+            for attr in key_attrs.iter().flatten() {
+                rec.push(attr.id(), Value::str(OVERFLOW_KEY));
+            }
+            for (i, red) in entry.reducers.iter().enumerate() {
+                if let (Some(value), Some(attr)) = (red.finish(denominators[i]), &result_attrs[i])
+                {
+                    rec.push(attr.id(), coerce(attr, value));
                 }
             }
             out.push(rec);
@@ -315,7 +436,8 @@ impl Aggregator {
     }
 
     /// Per-op denominators for `percent_total`: the sum of raw sums over
-    /// all entries.
+    /// all entries (including the overflow bucket, so the reported
+    /// percentages still total 100).
     fn percent_denominators(&self) -> Vec<f64> {
         let mut denominators = vec![0.0; self.spec.ops.len()];
         for (i, op) in self.spec.ops.iter().enumerate() {
@@ -323,6 +445,7 @@ impl Aggregator {
                 denominators[i] = self
                     .db
                     .values()
+                    .chain(self.overflow.iter())
                     .map(|e| e.reducers[i].raw_sum())
                     .sum::<f64>();
             }
@@ -651,6 +774,172 @@ mod tests {
         assert_eq!(out[0].get(sum.id()), Some(&Value::Int(7)));
         // but count counts records, not occurrences
         assert_eq!(out[0].get(count.id()), Some(&Value::UInt(1)));
+    }
+
+    #[test]
+    fn max_groups_caps_db_and_routes_overflow() {
+        let store = Arc::new(AttributeStore::new());
+        let mut records = Vec::new();
+        for i in 0..10i64 {
+            // keys k0..k9 in ascending order; 2 records each
+            for _ in 0..2 {
+                records.push(
+                    RecordBuilder::new(&store)
+                        .with("k", format!("k{i}").as_str())
+                        .with("x", i)
+                        .build(),
+                );
+            }
+        }
+        let spec = parse_query("AGGREGATE count, sum(x) GROUP BY k").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        agg.set_max_groups(Some(4));
+        for r in &records {
+            agg.add(r);
+            assert!(agg.len() <= 4, "db exceeded cap");
+        }
+        assert!(agg.has_overflow());
+        // 6 evicted groups x 2 records
+        assert_eq!(agg.overflow_records(), 12);
+
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        assert_eq!(out.len(), 5); // 4 groups + overflow row, last
+        let k = out_store.find("k").unwrap();
+        let count = out_store.find("count").unwrap();
+        let sum = out_store.find("sum#x").unwrap();
+        let last = out.last().unwrap();
+        assert_eq!(last.get(k.id()), Some(&Value::str(OVERFLOW_KEY)));
+        assert_eq!(last.get(count.id()), Some(&Value::UInt(12)));
+        // evicted groups k4..k9: sum = 2*(4+5+..+9) = 78
+        assert_eq!(last.get(sum.id()), Some(&Value::Int(78)));
+        // admitted groups keep exact results
+        let k0 = out
+            .iter()
+            .find(|r| r.get(k.id()) == Some(&Value::str("k0")))
+            .unwrap();
+        assert_eq!(k0.get(count.id()), Some(&Value::UInt(2)));
+    }
+
+    #[test]
+    fn capped_merge_is_order_deterministic() {
+        // Merging the same set of partials must admit the same keys and
+        // produce identical flushed output no matter how records were
+        // partitioned, as long as the merge sequence is the same.
+        let store = Arc::new(AttributeStore::new());
+        let mut records = Vec::new();
+        for i in [7i64, 2, 9, 4, 1, 8, 3, 6, 0, 5, 7, 2, 9, 4] {
+            records.push(RecordBuilder::new(&store).with("k", i).with("x", 1i64).build());
+        }
+        let spec = parse_query("AGGREGATE count, sum(x) GROUP BY k").unwrap();
+        let aspec = AggregationSpec::from_query(&spec);
+
+        let flush_of = |partition: usize| {
+            let mut parts: Vec<Aggregator> = (0..partition)
+                .map(|_| {
+                    let mut a = Aggregator::new(aspec.clone(), Arc::clone(&store));
+                    a.set_max_groups(Some(3));
+                    a
+                })
+                .collect();
+            for (i, r) in records.iter().enumerate() {
+                parts[i % partition].add(r);
+            }
+            let mut root = parts.remove(0);
+            for p in parts {
+                root.merge(p);
+            }
+            assert!(root.len() <= 3);
+            let out_store = AttributeStore::new();
+            let out = root.flush(&out_store);
+            let count = out_store.find("count").unwrap();
+            let total: u64 = out
+                .iter()
+                .map(|r| r.get(count.id()).unwrap().to_u64().unwrap())
+                .sum();
+            let lines: Vec<String> = out.iter().map(|r| r.describe(&out_store)).collect();
+            (lines, total)
+        };
+        // Different partition counts change arrival order within shards;
+        // totals must be conserved regardless.
+        for parts in [1, 2, 3] {
+            let (out, total) = flush_of(parts);
+            assert_eq!(out.len(), 4, "{out:?}");
+            assert_eq!(total, records.len() as u64, "{out:?}");
+        }
+        // Same partitioning twice → byte-identical output.
+        assert_eq!(flush_of(2), flush_of(2));
+    }
+
+    #[test]
+    fn overflow_forces_string_key_columns() {
+        let store = Arc::new(AttributeStore::new());
+        let mut records = Vec::new();
+        for i in 0..5i64 {
+            records.push(RecordBuilder::new(&store).with("i", i).build());
+        }
+        let spec = parse_query("AGGREGATE count GROUP BY i").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        agg.set_max_groups(Some(2));
+        for r in &records {
+            agg.add(r);
+        }
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        let i_attr = out_store.find("i").unwrap();
+        assert_eq!(i_attr.value_type(), ValueType::Str);
+        for rec in &out {
+            assert_eq!(
+                rec.get(i_attr.id()).unwrap().value_type(),
+                ValueType::Str
+            );
+        }
+        assert_eq!(
+            out.last().unwrap().get(i_attr.id()),
+            Some(&Value::str(OVERFLOW_KEY))
+        );
+    }
+
+    #[test]
+    fn percent_total_with_overflow_still_sums_to_100() {
+        let store = Arc::new(AttributeStore::new());
+        let mut records = Vec::new();
+        for (k, t) in [("a", 10.0), ("b", 30.0), ("c", 40.0), ("d", 20.0)] {
+            records.push(
+                RecordBuilder::new(&store)
+                    .with("kernel", k)
+                    .with("time", t)
+                    .build(),
+            );
+        }
+        let spec = parse_query("AGGREGATE percent_total(time) GROUP BY kernel").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        agg.set_max_groups(Some(2));
+        for r in &records {
+            agg.add(r);
+        }
+        let out_store = AttributeStore::new();
+        let out = agg.flush(&out_store);
+        assert_eq!(out.len(), 3);
+        let p = out_store.find("percent_total#time").unwrap();
+        let total: f64 = out
+            .iter()
+            .map(|r| r.get(p.id()).unwrap().to_f64().unwrap())
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn uncapped_behavior_is_unchanged() {
+        let (store, records) = store_with_listing1();
+        let spec = parse_query("AGGREGATE count, sum(time) GROUP BY function").unwrap();
+        let mut agg = Aggregator::new(AggregationSpec::from_query(&spec), store);
+        assert_eq!(agg.max_groups(), None);
+        for r in &records {
+            agg.add(r);
+        }
+        assert!(!agg.has_overflow());
+        assert_eq!(agg.overflow_records(), 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod parallel;
 pub mod parser;
 pub mod query;
 
-pub use aggregator::{AggregationSpec, Aggregator};
+pub use aggregator::{AggregationSpec, Aggregator, OVERFLOW_KEY};
 pub use ast::{
     AggOp, CmpOp, Filter, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir, SortKey,
 };

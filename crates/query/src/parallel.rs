@@ -75,7 +75,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use caliper_format::reader::{self, RecordBatch};
-use caliper_format::CaliError;
+use caliper_format::{CaliError, ReadPolicy, ReadReport};
 use crossbeam::channel::{unbounded, Sender};
 
 use crate::parser::{parse_query, ParseError};
@@ -94,6 +94,13 @@ pub struct ParallelOptions {
     pub threads: usize,
     /// Maximum records per work unit (see [`DEFAULT_BATCH_RECORDS`]).
     pub batch_records: usize,
+    /// How workers treat malformed input files (strict by default; see
+    /// [`ReadPolicy::Lenient`] for skip-and-report ingest).
+    pub read_policy: ReadPolicy,
+    /// Group capacity per aggregation shard and for the merged root
+    /// database (`None` = unbounded). See
+    /// [`Aggregator::set_max_groups`](crate::Aggregator::set_max_groups).
+    pub max_groups: Option<usize>,
 }
 
 impl Default for ParallelOptions {
@@ -101,6 +108,8 @@ impl Default for ParallelOptions {
         ParallelOptions {
             threads: 0,
             batch_records: DEFAULT_BATCH_RECORDS,
+            read_policy: ReadPolicy::Strict,
+            max_groups: None,
         }
     }
 }
@@ -112,6 +121,18 @@ impl ParallelOptions {
             threads,
             ..Default::default()
         }
+    }
+
+    /// Builder-style read-policy override.
+    pub fn with_read_policy(mut self, policy: ReadPolicy) -> Self {
+        self.read_policy = policy;
+        self
+    }
+
+    /// Builder-style group-capacity override.
+    pub fn with_max_groups(mut self, cap: Option<usize>) -> Self {
+        self.max_groups = cap;
+        self
     }
 
     /// The effective worker count: `threads`, or the machine's available
@@ -178,7 +199,8 @@ pub struct WorkerTimings {
     pub records: u64,
 }
 
-/// Timing breakdown of one parallel query run.
+/// Timing breakdown of one parallel query run, plus the per-file read
+/// reports (what lenient ingest skipped).
 #[derive(Debug, Clone, Default)]
 pub struct ShardTimings {
     /// Per-worker read/process breakdown, indexed by worker id.
@@ -187,6 +209,9 @@ pub struct ShardTimings {
     pub merge_s: f64,
     /// Seconds the root spent in ORDER BY / SELECT / FORMAT.
     pub finish_s: f64,
+    /// Per-file [`ReadReport`]s in input-file order (one per file that
+    /// was read; under [`ReadPolicy::Strict`] these are all clean).
+    pub reports: Vec<ReadReport>,
 }
 
 impl ShardTimings {
@@ -243,11 +268,14 @@ pub fn parallel_query_files<P: AsRef<Path>>(
     }
     let threads = options.effective_threads();
     let batch_records = options.batch_records.max(1);
+    let read_policy = options.read_policy;
+    let max_groups = options.max_groups;
     let spec = Arc::new(spec);
 
     let (work_tx, work_rx) = unbounded::<Unit>();
     let (partial_tx, partial_rx) = unbounded::<Partial>();
     let (timing_tx, timing_rx) = unbounded::<(usize, WorkerTimings)>();
+    let (report_tx, report_rx) = unbounded::<(usize, ReadReport)>();
 
     // Outstanding-unit count: seeded with one unit per file; a worker
     // that splits a file adds the extra batches *before* finishing the
@@ -274,6 +302,7 @@ pub fn parallel_query_files<P: AsRef<Path>>(
             let work_tx = work_tx.clone();
             let partial_tx = partial_tx.clone();
             let timing_tx = timing_tx.clone();
+            let report_tx = report_tx.clone();
             let spec = Arc::clone(&spec);
             let outstanding = Arc::clone(&outstanding);
             scope.spawn(move || {
@@ -283,12 +312,13 @@ pub fn parallel_query_files<P: AsRef<Path>>(
                         Unit::Stop => break,
                         Unit::File { file, path } => {
                             let t0 = Instant::now();
-                            let decoded = reader::read_path(&path);
+                            let decoded = reader::read_path_reported(&path, read_policy);
                             timings.read_s += t0.elapsed().as_secs_f64();
                             timings.files += 1;
                             let outcome = match decoded {
                                 Err(e) => (file, 0, Err(e)),
-                                Ok(ds) => {
+                                Ok((ds, report)) => {
+                                    let _ = report_tx.send((file, report));
                                     let batches =
                                         reader::record_batches(Arc::new(ds), batch_records);
                                     // Enqueue the tail batches before
@@ -308,8 +338,12 @@ pub fn parallel_query_files<P: AsRef<Path>>(
                                             });
                                         }
                                     }
-                                    let shard =
-                                        aggregate_batch(&spec, &batches[0], &mut timings);
+                                    let shard = aggregate_batch(
+                                        &spec,
+                                        &batches[0],
+                                        max_groups,
+                                        &mut timings,
+                                    );
                                     (file, 0, Ok(shard))
                                 }
                             };
@@ -319,7 +353,7 @@ pub fn parallel_query_files<P: AsRef<Path>>(
                             finish_unit(&outstanding, &work_tx, threads);
                         }
                         Unit::Batch { file, batch, data } => {
-                            let shard = aggregate_batch(&spec, &data, &mut timings);
+                            let shard = aggregate_batch(&spec, &data, max_groups, &mut timings);
                             if partial_tx.send((file, batch, Ok(shard))).is_err() {
                                 break;
                             }
@@ -336,6 +370,7 @@ pub fn parallel_query_files<P: AsRef<Path>>(
         drop(work_tx);
         drop(partial_tx);
         drop(timing_tx);
+        drop(report_tx);
 
         let mut partials: Vec<Partial> = partial_rx.iter().collect();
         let mut timings = ShardTimings {
@@ -345,6 +380,9 @@ pub fn parallel_query_files<P: AsRef<Path>>(
         for (worker, t) in timing_rx.iter() {
             timings.workers[worker] = t;
         }
+        let mut reports: Vec<(usize, ReadReport)> = report_rx.iter().collect();
+        reports.sort_by_key(|(file, _)| *file);
+        timings.reports = reports.into_iter().map(|(_, r)| r).collect();
 
         // Deterministic root fold: ascending unit order, first error (in
         // unit order) wins.
@@ -365,6 +403,7 @@ pub fn parallel_query_files<P: AsRef<Path>>(
                 QuerySpec::clone(&spec),
                 Arc::new(caliper_data::AttributeStore::new()),
             )
+            .with_max_groups(max_groups)
         });
         let t0 = Instant::now();
         let result = root.finish();
@@ -377,13 +416,15 @@ pub fn parallel_query_files<P: AsRef<Path>>(
 fn aggregate_batch(
     spec: &Arc<QuerySpec>,
     batch: &RecordBatch,
+    max_groups: Option<usize>,
     timings: &mut WorkerTimings,
 ) -> Pipeline {
     let t0 = Instant::now();
     let mut shard = Pipeline::new(
         QuerySpec::clone(spec),
         Arc::clone(&batch.dataset().store),
-    );
+    )
+    .with_max_groups(max_groups);
     for record in batch.flat_records() {
         shard.process(record);
     }
@@ -466,10 +507,73 @@ mod tests {
         let opts = |threads| ParallelOptions {
             threads,
             batch_records: 7, // force many batches per file
+            ..Default::default()
         };
         let (one, _) = parallel_query_files(QUERY, &paths, &opts(1)).unwrap();
         let (four, _) = parallel_query_files(QUERY, &paths, &opts(4)).unwrap();
         assert_eq!(one.render(), four.render());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capped_parallel_runs_agree_across_thread_counts() {
+        let dir = std::env::temp_dir().join("caliper-parallel-test-capped");
+        let paths = write_inputs(&dir, 4, 60);
+        let opts = |threads| ParallelOptions {
+            threads,
+            batch_records: 9,
+            max_groups: Some(2), // fewer than the 3 kernels in the workload
+            ..Default::default()
+        };
+        let (reference, _) = parallel_query_files(QUERY, &paths, &opts(1)).unwrap();
+        assert!(reference.overflow_records > 0);
+        for threads in [2, 3, 8] {
+            let (result, _) = parallel_query_files(QUERY, &paths, &opts(threads)).unwrap();
+            assert_eq!(result.render(), reference.render(), "threads = {threads}");
+            assert_eq!(result.overflow_records, reference.overflow_records);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_parallel_reads_collect_per_file_reports() {
+        let dir = std::env::temp_dir().join("caliper-parallel-test-lenient");
+        let mut paths = write_inputs(&dir, 3, 20);
+        // Append a corrupt line to the middle file.
+        let damaged = paths[1].clone();
+        let mut text = std::fs::read_to_string(&damaged).unwrap();
+        text.push_str("this is not a cali record\n");
+        std::fs::write(&damaged, text).unwrap();
+
+        // Strict mode fails and names the file.
+        let err =
+            parallel_query_files(QUERY, &paths, &ParallelOptions::with_threads(4)).unwrap_err();
+        assert!(err.to_string().contains("rank1.cali"), "{err}");
+
+        // Lenient mode succeeds; reports come back in file order.
+        let opts = ParallelOptions::with_threads(4).with_read_policy(ReadPolicy::lenient());
+        let (result, timings) = parallel_query_files(QUERY, &paths, &opts).unwrap();
+        assert!(!result.render().is_empty());
+        assert_eq!(timings.reports.len(), 3);
+        let skipped: Vec<u64> = timings.reports.iter().map(|r| r.skipped).collect();
+        assert_eq!(skipped, [0, 1, 0]);
+        assert!(timings.reports[1]
+            .path
+            .as_deref()
+            .is_some_and(|p| p.ends_with("rank1.cali")));
+
+        // Clean-file results are unaffected by the damaged file's policy:
+        // strict over the clean subset == lenient over everything, because
+        // the corrupt trailing line contributed no records either way.
+        paths.remove(1);
+        let damaged_only = [damaged];
+        let (strict_two, _) = parallel_query_files(
+            QUERY,
+            &damaged_only,
+            &ParallelOptions::with_threads(1).with_read_policy(ReadPolicy::lenient()),
+        )
+        .unwrap();
+        assert!(!strict_two.render().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

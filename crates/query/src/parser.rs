@@ -162,16 +162,14 @@ impl Parser {
             let kind = OpKind::from_name(&name)
                 .ok_or_else(|| self.error(format!("unknown aggregation operator '{name}'")))?;
             let mut op = AggOp::new(kind, None);
-            if self.eat(&TokenKind::LParen) {
-                if !self.eat(&TokenKind::RParen) {
-                    // first argument: target attribute
-                    op.target = Some(self.label()?);
-                    while self.eat(&TokenKind::Comma) {
-                        let arg = self.literal()?;
-                        op.args.push(arg);
-                    }
-                    self.expect(&TokenKind::RParen)?;
+            if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                // first argument: target attribute
+                op.target = Some(self.label()?);
+                while self.eat(&TokenKind::Comma) {
+                    let arg = self.literal()?;
+                    op.args.push(arg);
                 }
+                self.expect(&TokenKind::RParen)?;
             }
             if kind.needs_target() && op.target.is_none() {
                 return Err(self.error(format!(
@@ -304,14 +302,12 @@ impl Parser {
             }
         };
         let mut op = AggOp::new(kind, None);
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
-                op.target = Some(self.label()?);
-                while self.eat(&TokenKind::Comma) {
-                    op.args.push(self.literal()?);
-                }
-                self.expect(&TokenKind::RParen)?;
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            op.target = Some(self.label()?);
+            while self.eat(&TokenKind::Comma) {
+                op.args.push(self.literal()?);
             }
+            self.expect(&TokenKind::RParen)?;
         }
         if kind.needs_target() && op.target.is_none() {
             self.pos = save;

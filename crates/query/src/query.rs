@@ -30,6 +30,10 @@ pub struct QueryResult {
     pub columns: Vec<Attribute>,
     /// Requested output format.
     pub format: OutputFormat,
+    /// Input records that landed in the `__overflow__` bucket because
+    /// the aggregation hit its group capacity (0 = no overflow; always
+    /// 0 for unbounded or pass-through queries).
+    pub overflow_records: u64,
 }
 
 impl QueryResult {
@@ -169,6 +173,26 @@ impl Pipeline {
         Ok(Pipeline::new(parse_query(text)?, store))
     }
 
+    /// Bound the aggregation database to `cap` groups (see
+    /// [`Aggregator::set_max_groups`]); a no-op for pass-through
+    /// queries, which hold records rather than groups.
+    pub fn set_max_groups(&mut self, cap: Option<usize>) {
+        if let Some(agg) = &mut self.aggregator {
+            agg.set_max_groups(cap);
+        }
+    }
+
+    /// Builder-style variant of [`set_max_groups`](Self::set_max_groups).
+    pub fn with_max_groups(mut self, cap: Option<usize>) -> Pipeline {
+        self.set_max_groups(cap);
+        self
+    }
+
+    /// Records routed to the overflow bucket so far (0 when unbounded).
+    pub fn overflow_records(&self) -> u64 {
+        self.aggregator.as_ref().map_or(0, |a| a.overflow_records())
+    }
+
     /// The parsed query spec.
     pub fn spec(&self) -> &QuerySpec {
         &self.spec
@@ -226,6 +250,7 @@ impl Pipeline {
     /// Finish: flush the aggregation, apply ORDER BY and SELECT, and
     /// return the result.
     pub fn finish(self) -> QueryResult {
+        let overflow_records = self.overflow_records();
         let (store, mut records) = match self.aggregator {
             Some(agg) => {
                 let out_store = Arc::new(AttributeStore::new());
@@ -311,6 +336,7 @@ impl Pipeline {
             records,
             columns,
             format: self.spec.format,
+            overflow_records,
         }
     }
 }

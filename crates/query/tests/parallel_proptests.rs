@@ -126,7 +126,7 @@ proptest! {
         batch_records in 1usize..9,
     ) {
         let (dir, paths) = write_workload(&files);
-        let opts = |threads| ParallelOptions { threads, batch_records };
+        let opts = |threads| ParallelOptions { threads, batch_records, ..Default::default() };
         let (reference, _) = parallel_query_files(QUERY, &paths, &opts(1)).unwrap();
         let expected = reference.render();
         for threads in [2usize, 8] {
@@ -153,7 +153,7 @@ proptest! {
         let (_, timings) = parallel_query_files(
             QUERY,
             &paths,
-            &ParallelOptions { threads: 4, batch_records: 8 },
+            &ParallelOptions { threads: 4, batch_records: 8, ..Default::default() },
         )
         .unwrap();
         let processed: u64 = timings.workers.iter().map(|w| w.records).sum();

@@ -272,6 +272,11 @@ impl AggregateService {
         self.aggregator.len()
     }
 
+    /// True if the aggregation database has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.aggregator.is_empty()
+    }
+
     /// Number of times the database overflowed and spilled.
     pub fn spill_count(&self) -> u64 {
         self.spills

@@ -1,9 +1,35 @@
 #!/bin/sh
-# Full local gate: release build, test suite, and a rustdoc pass with
-# warnings (missing_docs among them) promoted to errors.
+# Full local gate: release build, test suite, lint pass, a rustdoc pass
+# with warnings (missing_docs among them) promoted to errors, and a
+# failure-injection smoke run of the fault-tolerant pipeline.
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo clippy --workspace --all-targets -q -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Failure-injection smoke: a corrupt corpus must be salvageable with
+# --lenient (and fatal without), and a killed rank must leave fig4's
+# resilient reduction with an honest coverage report (asserted inside
+# the harness).
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+printf '__rec=attr,id=0,name=kernel,type=string,prop=default\n__rec=ctx,attr=0,data=ok\n' \
+    > "$smoke/good.cali"
+printf '__rec=attr,id=0,name=kernel,type=string,prop=default\n__rec=ctx,attr=99,data=broken\n__rec=ctx,attr=0,data=ok\n' \
+    > "$smoke/bad.cali"
+if cargo run -q --release -p cali-cli --bin cali-query -- \
+    -q "AGGREGATE count GROUP BY kernel" "$smoke/good.cali" "$smoke/bad.cali" \
+    >/dev/null 2>&1; then
+    echo "check.sh: strict read of a corrupt corpus unexpectedly succeeded" >&2
+    exit 1
+fi
+cargo run -q --release -p cali-cli --bin cali-query -- \
+    --lenient --max-groups 8 -q "AGGREGATE count GROUP BY kernel" \
+    "$smoke/good.cali" "$smoke/bad.cali" > "$smoke/lenient.out"
+grep -q "ok" "$smoke/lenient.out"
+cargo run -q --release -p caliper-bench --bin fig4 -- --quick --max-np 8 --kill 3 \
+    > /dev/null
+echo "check.sh: all gates passed"

@@ -60,6 +60,28 @@ impl std::fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived before the deadline; senders remain connected.
+    Timeout,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
@@ -164,6 +186,33 @@ impl<T> Receiver<T> {
                 .ready
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`recv`](Receiver::recv), but gives up once `timeout` has
+    /// elapsed without a value arriving. The substrate for `mpisim`'s
+    /// fault-tolerant receives: a peer that died without dropping its
+    /// channel endpoints never disconnects, it just goes silent.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
         }
     }
 
@@ -276,6 +325,24 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_still_delivers() {
+        let (tx, rx) = unbounded::<i32>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(30)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(30)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
