@@ -34,6 +34,16 @@ pub enum WorkMode {
         /// Factor applied to modelled nanoseconds before spinning.
         scale: f64,
     },
+    /// Advance a virtual clock like [`WorkMode::Virtual`] but *also*
+    /// sleep `scale` × the modelled time in real time. All measurement
+    /// comes from the virtual clock, so the collected data (and any
+    /// journal written from it) is byte-identical to a `Virtual` run —
+    /// while the process stays alive long enough to be killed mid-run.
+    /// Used by the crash-recovery smoke test.
+    Paced {
+        /// Factor applied to modelled nanoseconds before sleeping.
+        scale: f64,
+    },
 }
 
 /// The seven instrumentation attributes (§V-B: "In total, we collected
@@ -118,6 +128,24 @@ impl CleverLeaf {
                 spin((ns as f64 * scale) as u64);
                 // Let the sampler catch up on the real clock.
                 scope.advance_time(0);
+            }
+            WorkMode::Paced { scale } => {
+                // Accumulate the scaled time as a sleep debt and pay it
+                // in >= 1 ms chunks: per-call sleeps would drown the
+                // pacing in syscall overhead (work items are ~us-scale).
+                thread_local! {
+                    static PACE_DEBT_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+                }
+                PACE_DEBT_NS.with(|debt| {
+                    let owed = debt.get() + (ns as f64 * scale) as u64;
+                    if owed >= 1_000_000 {
+                        std::thread::sleep(std::time::Duration::from_nanos(owed));
+                        debt.set(0);
+                    } else {
+                        debt.set(owed);
+                    }
+                });
+                scope.advance_time(ns);
             }
         }
     }
@@ -303,6 +331,27 @@ mod tests {
                 caliper_format::cali::to_bytes(db)
             );
         }
+    }
+
+    #[test]
+    fn paced_mode_matches_virtual_byte_for_byte() {
+        // The crash-recovery smoke test relies on this: pacing only
+        // stretches wall-clock time, never the measured data.
+        let app = CleverLeaf::new(CleverLeafParams {
+            timesteps: 3,
+            ranks: 1,
+            ..CleverLeafParams::default()
+        });
+        let config = Config::event_trace();
+        let run = |mode: WorkMode| {
+            let caliper = Caliper::with_clock(config.clone(), Clock::virtual_clock());
+            app.run_rank(0, &caliper, mode);
+            caliper_format::cali::to_bytes(&caliper.take_dataset())
+        };
+        assert_eq!(
+            run(WorkMode::Virtual),
+            run(WorkMode::Paced { scale: 1e-6 })
+        );
     }
 
     #[test]

@@ -42,6 +42,9 @@ Options:
   --list-attributes   print the attribute dictionary instead of querying
   --list-globals      print dataset-global metadata instead of querying
   -h, --help          show this help
+
+Exit codes: 0 success, 1 error, 2 success but some records were skipped
+(lenient reads over partially corrupt input).
 ";
 
 /// Render the attribute dictionary (name, type, properties).
@@ -86,14 +89,30 @@ fn report_timings(timings: &ShardTimings) {
 }
 
 /// Print the per-file skipped-work summaries for every file the lenient
-/// reader had to repair, so dropped data is loud even when the run
-/// succeeds.
-fn report_skipped(reports: &[ReadReport]) {
+/// reader had to repair, plus one combined total line, so dropped data
+/// is loud even when the run succeeds. Returns true when any data was
+/// skipped — the caller exits with code 2 so scripts can detect a
+/// partial result.
+fn report_skipped(reports: &[ReadReport]) -> bool {
+    let mut files_with_errors = 0usize;
+    let mut total = ReadReport::default();
     for report in reports {
+        total.absorb(report);
         if !report.is_clean() {
+            files_with_errors += 1;
             eprintln!("cali-query: {}", report.summary());
         }
     }
+    if files_with_errors > 0 {
+        eprintln!(
+            "cali-query: total: {} records decoded, {} skipped, {}/{} files with errors",
+            total.records,
+            total.skipped,
+            files_with_errors,
+            reports.len()
+        );
+    }
+    !total.is_clean()
 }
 
 /// Print the overflow-bucket summary when `--max-groups` evicted work
@@ -155,10 +174,11 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut partial = false;
     let rendered = if args.has(&["list-attributes"]) || args.has(&["list-globals"]) {
         let ds = match read_files_reported(&args.positional, policy) {
             Ok((ds, reports)) => {
-                report_skipped(&reports);
+                partial |= report_skipped(&reports);
                 ds
             }
             Err(e) => {
@@ -179,7 +199,7 @@ fn main() -> ExitCode {
             .with_max_groups(max_groups);
         match parallel_query_files(query, &args.positional, &options) {
             Ok((result, timings)) => {
-                report_skipped(&timings.reports);
+                partial |= report_skipped(&timings.reports);
                 report_overflow(&result, max_groups);
                 if args.has(&["timings"]) {
                     report_timings(&timings);
@@ -189,7 +209,7 @@ fn main() -> ExitCode {
             Err(ParallelQueryError::NotAnAggregation) => {
                 match query_files_streaming_with(query, &args.positional, policy, max_groups) {
                     Ok((result, reports)) => {
-                        report_skipped(&reports);
+                        partial |= report_skipped(&reports);
                         result.render()
                     }
                     Err(e) => {
@@ -209,7 +229,7 @@ fn main() -> ExitCode {
         let t0 = std::time::Instant::now();
         match query_files_streaming_with(query, &args.positional, policy, max_groups) {
             Ok((result, reports)) => {
-                report_skipped(&reports);
+                partial |= report_skipped(&reports);
                 report_overflow(&result, max_groups);
                 if args.has(&["timings"]) {
                     eprintln!("# serial read+process: {:.6} s", t0.elapsed().as_secs_f64());
@@ -237,5 +257,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    if partial {
+        // Distinct exit code for "succeeded, but some input records
+        // were skipped" so scripts can detect partial data.
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -353,15 +353,17 @@ fn cali_query_lenient_salvages_a_corrupt_corpus() {
         let strict = run(threads, false, &corpus);
         assert!(!strict.status.success(), "--threads {threads}");
 
-        // Lenient succeeds; the corrupt files contribute their (empty)
-        // valid prefixes, so stdout is byte-identical to a strict run
-        // over the clean files alone.
+        // Lenient salvages the corpus; the corrupt files contribute
+        // their (empty) valid prefixes, so stdout is byte-identical to
+        // a strict run over the clean files alone — and the partial
+        // result is flagged with the distinct exit code 2.
         let reference = run(threads, false, &clean);
         assert!(reference.status.success());
         let lenient = run(threads, true, &corpus);
-        assert!(
-            lenient.status.success(),
-            "--threads {threads}: {}",
+        assert_eq!(
+            lenient.status.code(),
+            Some(2),
+            "--threads {threads}: lenient with skipped records must exit 2: {}",
             String::from_utf8_lossy(&lenient.stderr)
         );
         assert_eq!(
@@ -370,11 +372,20 @@ fn cali_query_lenient_salvages_a_corrupt_corpus() {
             "--threads {threads}"
         );
 
-        // The skipped work is summarized per file on stderr.
+        // The skipped work is summarized per file on stderr, plus one
+        // combined total line for the whole corpus.
         let stderr = String::from_utf8(lenient.stderr).unwrap();
         assert!(stderr.contains("truncated.cali"), "--threads {threads}: {stderr}");
         assert!(stderr.contains("corrupt.calb"), "--threads {threads}: {stderr}");
         assert!(stderr.contains("skipped"), "--threads {threads}: {stderr}");
+        assert!(
+            stderr.contains("total:") && stderr.contains("2/4 files with errors"),
+            "--threads {threads}: {stderr}"
+        );
+
+        // A lenient run over clean files alone stays exit 0.
+        let clean_lenient = run(threads, true, &clean);
+        assert_eq!(clean_lenient.status.code(), Some(0), "--threads {threads}");
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -259,6 +259,13 @@ impl<W: Write> CaliWriter<W> {
         self.out.flush()?;
         Ok(self.out)
     }
+
+    /// Mutable access to the underlying sink. The journal writer uses
+    /// this to drain an in-memory line buffer to its backing file; the
+    /// writer's lazy-metadata bookkeeping is unaffected.
+    pub fn sink_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
 }
 
 /// Serialize a dataset to a `.cali` byte buffer.

@@ -36,6 +36,7 @@ pub mod dataset;
 pub mod escape;
 pub mod expand;
 pub mod flamegraph;
+pub mod journal;
 pub mod json;
 pub mod policy;
 pub mod reader;
@@ -43,6 +44,7 @@ pub mod table;
 
 pub use cali::{CaliError, CaliReader, CaliWriter};
 pub use dataset::Dataset;
+pub use journal::{FlushPolicy, JournalCounters, JournalWriter, RecoveryReport, SEQ_ATTR};
 pub use policy::{ReadPolicy, ReadReport, MAX_REPORTED_ERRORS};
 pub use reader::{
     read_path, read_path_into, read_path_into_reported, read_path_reported, RecordBatch,

@@ -10,27 +10,55 @@
 //!
 //! | key                   | meaning                                           |
 //! |-----------------------|---------------------------------------------------|
-//! | `services`            | comma list: `aggregate`, `trace`, `timer`, `sampler`, `event` |
+//! | `services`            | comma list: `aggregate`, `trace`, `timer`, `sampler`, `event`, `journal` |
 //! | `aggregate.key`       | comma list of key attribute labels (GROUP BY)     |
 //! | `aggregate.ops`       | AGGREGATE op list, e.g. `count,sum(time.duration)`|
 //! | `sampler.interval.ns` | sampling period for the sampler service           |
+//! | `journal.enable`      | write-ahead snapshot journal on/off               |
+//! | `journal.path`        | journal file path (required when journaling)      |
+//! | `journal.flush_interval` | journal flush cadence in snapshots (default 1) |
+//! | `journal.max_buffer`  | journal buffer byte cap forcing a flush           |
+//! | `journal.fsync`       | `fsync` the journal after each flush              |
+//! | `journal.append`      | resume an existing journal instead of truncating  |
 //!
 //! Unknown keys are kept (services may define their own).
+//! [`Config::validate`] checks the values of all recognized keys and
+//! returns the first problem as a [`ConfigError`]; [`Caliper::try_new`]
+//! runs it so invalid profiles fail up front instead of panicking in
+//! thread-scope setup.
+//!
+//! [`Caliper::try_new`]: crate::runtime::Caliper::try_new
 
 use std::collections::BTreeMap;
 
-/// Error from parsing a configuration profile.
+/// Error from parsing or validating a configuration profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
-    /// 1-based line number.
+    /// 1-based line number; 0 when the error is not tied to a source
+    /// line (e.g. a bad value set programmatically or via environment).
     pub line: usize,
     /// Description.
     pub message: String,
 }
 
+impl ConfigError {
+    /// A validation error for one configuration key, not tied to a
+    /// source line.
+    pub fn for_key(key: &str, message: impl std::fmt::Display) -> ConfigError {
+        ConfigError {
+            line: 0,
+            message: format!("{key}: {message}"),
+        }
+    }
+}
+
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "config error at line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "config error: {}", self.message)
+        } else {
+            write!(f, "config error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -140,6 +168,30 @@ impl Config {
         self.get_list("services").iter().any(|s| s == name)
     }
 
+    /// Validate the values of every recognized key, returning the
+    /// first problem. Unknown keys are still ignored — services may
+    /// define their own — but a present, malformed value for a key the
+    /// runtime consumes is an error here rather than a panic (or a
+    /// silently applied default) later.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(ops) = self.get("aggregate.ops") {
+            caliper_query::parse_query(&format!("AGGREGATE {ops}")).map_err(|e| {
+                ConfigError::for_key("aggregate.ops", format!("invalid op list '{ops}': {e}"))
+            })?;
+        }
+        for key in ["sampler.interval.ns", "aggregate.max_entries"] {
+            if let Some(v) = self.get(key) {
+                v.trim().parse::<u64>().map_err(|_| {
+                    ConfigError::for_key(key, format!("expected an unsigned integer, got '{v}'"))
+                })?;
+            }
+        }
+        // The journal.* keys share their validation with the journal
+        // service so the two cannot drift apart.
+        crate::journal::JournalConfig::from_config(self)?;
+        Ok(())
+    }
+
     // ---- convenience constructors for the common profiles ----
 
     /// Event-triggered tracing: every begin/end produces a stored
@@ -227,6 +279,41 @@ mod tests {
         std::env::remove_var("CALITEST77_SERVICES");
         std::env::remove_var("CALITEST77_AGGREGATE_KEY");
         std::env::remove_var("CALITEST77_SAMPLER_INTERVAL_NS");
+    }
+
+    #[test]
+    fn validate_accepts_the_stock_profiles() {
+        for config in [
+            Config::baseline(),
+            Config::event_trace(),
+            Config::event_aggregate("kernel", "count,sum(time.duration)"),
+            Config::sampled_trace(10_000_000),
+            Config::sampled_aggregate(10_000_000, "kernel", "count"),
+        ] {
+            config.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let err = Config::event_aggregate("kernel", "count, sum(")
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("aggregate.ops"), "{err}");
+        assert!(err.to_string().starts_with("config error: "), "{err}");
+
+        let err = Config::new()
+            .set("sampler.interval.ns", "fast")
+            .validate()
+            .unwrap_err();
+        assert!(err.message.contains("sampler.interval.ns"), "{err}");
+
+        let err = Config::new()
+            .set("journal.enable", "true")
+            .validate()
+            .unwrap_err();
+        assert!(err.message.contains("journal.path"), "{err}");
     }
 
     #[test]

@@ -64,7 +64,13 @@ pub fn init_with_clock(config: Config, clock: Clock) -> bool {
     match INSTANCE.set(RwLock::new(Arc::clone(&caliper))) {
         Ok(()) => true,
         Err(_) => {
-            *INSTANCE.get().expect("just checked").write().expect("lock") = caliper;
+            // Poison-tolerant: a panic in another thread while holding
+            // this lock must not cascade into every later annotation.
+            *INSTANCE
+                .get()
+                .expect("just checked")
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = caliper;
             SCOPE.with(|scope| *scope.borrow_mut() = None);
             false
         }
@@ -75,7 +81,7 @@ pub fn init_with_clock(config: Config, clock: Clock) -> bool {
 /// use (the `CALI_…` environment variables, as in real Caliper).
 pub fn instance() -> Arc<Caliper> {
     let lock = INSTANCE.get_or_init(|| RwLock::new(Caliper::new(Config::from_env())));
-    Arc::clone(&lock.read().expect("lock"))
+    Arc::clone(&lock.read().unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// Run `f` with this thread's scope (created on first use). The scope

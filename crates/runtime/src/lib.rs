@@ -52,6 +52,7 @@ pub mod blackboard;
 pub mod clock;
 pub mod config;
 pub mod global;
+pub mod journal;
 pub mod runtime;
 pub mod services;
 pub mod thread;
@@ -60,6 +61,7 @@ pub use annotation::Annotation;
 pub use blackboard::{Blackboard, NestingError};
 pub use clock::Clock;
 pub use config::{Config, ConfigError};
+pub use journal::{flush_all_journals, JournalConfig, JournalService, JournalSink, JournalStats};
 pub use runtime::{Caliper, Channel};
 pub use services::{
     AggregateService, CountersService, ProcCtx, Service, TimerService, TraceService, Trigger,

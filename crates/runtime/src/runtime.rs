@@ -21,7 +21,8 @@ use caliper_format::Dataset;
 use parking_lot::{Mutex, RwLock};
 
 use crate::clock::Clock;
-use crate::config::Config;
+use crate::config::{Config, ConfigError};
+use crate::journal::{JournalConfig, JournalSink};
 use crate::thread::ThreadScope;
 
 /// One data-collection channel: a configuration profile plus the
@@ -32,16 +33,42 @@ pub struct Channel {
     collected: Mutex<Dataset>,
     total_snapshots: AtomicU64,
     flushed_threads: AtomicU64,
+    /// Problems found validating `config` (or opening the journal).
+    /// Affected services are skipped instead of panicking; the errors
+    /// stay inspectable here and fail [`Caliper::try_new`].
+    config_errors: Vec<ConfigError>,
+    /// The channel's write-ahead snapshot journal, when configured.
+    journal: Option<Arc<JournalSink>>,
 }
 
 impl Channel {
     fn new(name: &str, config: Config, store: Arc<AttributeStore>, tree: Arc<ContextTree>) -> Channel {
+        let mut config_errors = Vec::new();
+        let mut journal = None;
+        match config.validate() {
+            Ok(()) => {
+                // validate() already vetted the journal keys, so
+                // from_config cannot fail here; opening the file can.
+                if let Ok(Some(journal_config)) = JournalConfig::from_config(&config) {
+                    match JournalSink::create(&journal_config, &store, &tree) {
+                        Ok(sink) => journal = Some(sink),
+                        Err(e) => config_errors.push(ConfigError::for_key(
+                            "journal.path",
+                            format!("cannot open '{}': {e}", journal_config.path.display()),
+                        )),
+                    }
+                }
+            }
+            Err(e) => config_errors.push(e),
+        }
         Channel {
             name: name.to_string(),
             config,
             collected: Mutex::new(Dataset::with_context(store, tree)),
             total_snapshots: AtomicU64::new(0),
             flushed_threads: AtomicU64::new(0),
+            config_errors,
+            journal,
         }
     }
 
@@ -55,9 +82,25 @@ impl Channel {
         &self.config
     }
 
+    /// Problems found validating this channel's profile. Non-empty
+    /// means some services were skipped; [`Caliper::try_new`] surfaces
+    /// the first one as an error.
+    pub fn config_errors(&self) -> &[ConfigError] {
+        &self.config_errors
+    }
+
+    /// The channel's write-ahead snapshot journal, when configured.
+    pub fn journal(&self) -> Option<&Arc<JournalSink>> {
+        self.journal.as_ref()
+    }
+
     /// Set a dataset-global metadata value on this channel.
     pub fn set_global(&self, label: &str, value: impl Into<Value>) {
-        self.collected.lock().set_global(label, value);
+        let mut collected = self.collected.lock();
+        collected.set_global(label, value);
+        if let (Some(journal), Some(global)) = (&self.journal, collected.globals.last()) {
+            journal.append_globals(global);
+        }
     }
 
     /// Record flushed per-thread output into the channel dataset.
@@ -71,8 +114,12 @@ impl Channel {
 
     /// Take the collected dataset (e.g. to write a `.cali` file),
     /// leaving an empty dataset behind. Thread scopes must be flushed
-    /// first.
+    /// first. Drains the journal too, so an orderly shutdown leaves the
+    /// journal complete as well.
     pub fn take_dataset(&self) -> Dataset {
+        if let Some(journal) = &self.journal {
+            journal.flush();
+        }
         let mut collected = self.collected.lock();
         let store = Arc::clone(&collected.store);
         let tree = Arc::clone(&collected.tree);
@@ -146,6 +193,24 @@ impl Caliper {
             clock,
             channels: RwLock::new(vec![default]),
         })
+    }
+
+    /// Like [`Caliper::new`], but fail up front when the profile is
+    /// invalid instead of silently skipping the affected services.
+    /// Embedding tools should prefer this so a typo'd `aggregate.ops`
+    /// or unwritable `journal.path` is reported before any measurement.
+    pub fn try_new(config: Config) -> Result<Arc<Caliper>, ConfigError> {
+        Caliper::try_with_clock(config, Clock::real())
+    }
+
+    /// [`Caliper::try_new`] with an explicit clock.
+    pub fn try_with_clock(config: Config, clock: Clock) -> Result<Arc<Caliper>, ConfigError> {
+        let caliper = Caliper::with_clock(config, clock);
+        let default = caliper.default_channel();
+        match default.config_errors().first() {
+            Some(e) => Err(e.clone()),
+            None => Ok(caliper),
+        }
     }
 
     /// The process attribute dictionary.

@@ -67,19 +67,34 @@ impl ChannelScope {
                 .trim()
                 .to_string();
             // Reuse the query parser for the op list: the runtime
-            // configuration speaks the same description language.
-            let parsed = parse_query(&format!("AGGREGATE {ops_text}"))
-                .unwrap_or_else(|e| panic!("invalid aggregate.ops '{ops_text}': {e}"));
-            let spec = AggregationSpec::new(parsed.ops, key);
-            let max_entries = config.get_u64("aggregate.max_entries", 0) as usize;
-            services.push(Box::new(AggregateService::with_capacity(
-                spec,
-                Arc::clone(&store),
-                max_entries,
-            )));
+            // configuration speaks the same description language. An
+            // invalid op list was already reported as a config error at
+            // channel creation ([`Channel::config_errors`]); here the
+            // service is simply skipped so thread setup never panics on
+            // user input.
+            match parse_query(&format!("AGGREGATE {ops_text}")) {
+                Ok(parsed) => {
+                    let spec = AggregationSpec::new(parsed.ops, key);
+                    let max_entries = config.get_u64("aggregate.max_entries", 0) as usize;
+                    services.push(Box::new(AggregateService::with_capacity(
+                        spec,
+                        Arc::clone(&store),
+                        max_entries,
+                    )));
+                }
+                Err(_) => debug_assert!(
+                    !channel.config_errors().is_empty(),
+                    "invalid aggregate.ops must be recorded as a config error"
+                ),
+            }
         }
         if config.service_enabled("trace") {
             services.push(Box::new(TraceService::new()));
+        }
+        if let Some(sink) = channel.journal() {
+            services.push(Box::new(crate::journal::JournalService::new(Arc::clone(
+                sink,
+            ))));
         }
 
         let snapshot_on_event = config.service_enabled("event");
