@@ -39,6 +39,12 @@ Options:
                       \"__overflow__\" bucket (memory stays bounded, totals
                       stay exact, output stays identical for every --threads)
   --timings           report a per-worker timing breakdown on stderr
+  --stats[=FORMAT]    report pipeline self-instrumentation metrics on
+                      stderr after the query: sorted name=value lines
+                      (or one JSON object with --stats=json). The block
+                      contains only deterministic metrics and is
+                      byte-identical for every --threads N;
+                      --stats=full adds volatile wall-clock timers
   --list-attributes   print the attribute dictionary instead of querying
   --list-globals      print dataset-global metadata instead of querying
   -h, --help          show this help
@@ -115,6 +121,29 @@ fn report_skipped(reports: &[ReadReport]) -> bool {
     !total.is_clean()
 }
 
+/// How `--stats` renders the metrics block.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    /// Sorted `name=value` lines, stable metrics only.
+    Text,
+    /// One flat JSON object, stable metrics only.
+    Json,
+    /// Sorted `name=value` lines including volatile timers.
+    Full,
+}
+
+/// Emit the self-instrumentation block on stderr. Stable formats print
+/// only deterministic metrics, so the block is byte-identical for every
+/// `--threads N` over the same inputs.
+fn report_stats(format: StatsFormat) {
+    let metrics = caliper_data::metrics::global();
+    match format {
+        StatsFormat::Text => eprint!("{}", metrics.render_text(true)),
+        StatsFormat::Json => eprintln!("{}", metrics.render_json(true)),
+        StatsFormat::Full => eprint!("{}", metrics.render_text(false)),
+    }
+}
+
 /// Print the overflow-bucket summary when `--max-groups` evicted work
 /// into the `__overflow__` row.
 fn report_overflow(result: &QueryResult, max_groups: Option<usize>) {
@@ -172,6 +201,17 @@ fn main() -> ExitCode {
             eprintln!("cali-query: --max-groups takes a positive integer\n{USAGE}");
             return ExitCode::FAILURE;
         }
+    };
+    let stats = match args.get(&["stats"]) {
+        Some("text") => Some(StatsFormat::Text),
+        Some("json") => Some(StatsFormat::Json),
+        Some("full") => Some(StatsFormat::Full),
+        Some(other) => {
+            eprintln!("cali-query: unknown stats format '{other}' (text|json|full)\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        None if args.has(&["stats"]) => Some(StatsFormat::Text),
+        None => None,
     };
 
     let mut partial = false;
@@ -256,6 +296,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(format) = stats {
+        report_stats(format);
     }
     if partial {
         // Distinct exit code for "succeeded, but some input records

@@ -1,0 +1,342 @@
+//! Golden-file conformance suite for `cali-query`.
+//!
+//! Each case runs the real binary over the checked-in `.cali` inputs
+//! under `tests/golden/data/` and compares stdout **byte-for-byte**
+//! against `tests/golden/expected/<name>.txt`, so any change to the
+//! query pipeline or an output formatter shows up as a reviewable diff.
+//!
+//! To regenerate the inputs and expectations after an intentional
+//! output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cali-cli --test cli_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+use caliper_runtime::{Caliper, Clock, Config};
+
+/// One golden case: a query (plus extra CLI flags) whose stdout is
+/// pinned in `expected/<name>.txt`.
+struct Case {
+    name: &'static str,
+    query: &'static str,
+    extra_args: &'static [&'static str],
+}
+
+/// The conformance queries. Together they cover every output format,
+/// WHERE/SELECT/ORDER BY/LIMIT/LET, the bucketing and distribution
+/// operators, and the `--max-groups` overflow fold.
+const CASES: &[Case] = &[
+    Case {
+        name: "count-by-function",
+        query: "AGGREGATE count GROUP BY function ORDER BY function",
+        extra_args: &[],
+    },
+    Case {
+        name: "sum-by-function-iteration",
+        query: "AGGREGATE sum(time.duration) GROUP BY function, loop.iteration \
+                ORDER BY function, loop.iteration",
+        extra_args: &[],
+    },
+    Case {
+        name: "csv-avg",
+        query: "AGGREGATE avg(time.duration) GROUP BY function ORDER BY function FORMAT csv",
+        extra_args: &[],
+    },
+    Case {
+        name: "json-min-max",
+        query: "AGGREGATE min(time.duration), max(time.duration) GROUP BY function \
+                ORDER BY function FORMAT json",
+        extra_args: &[],
+    },
+    Case {
+        name: "where-filter",
+        query: "AGGREGATE count WHERE function GROUP BY function ORDER BY function",
+        extra_args: &[],
+    },
+    Case {
+        name: "let-scale",
+        query: "LET time.ms = scale(time.duration, 0.001) \
+                AGGREGATE sum(time.ms) GROUP BY function ORDER BY function",
+        extra_args: &[],
+    },
+    Case {
+        name: "order-desc-limit",
+        query: "AGGREGATE sum(time.duration) GROUP BY function \
+                SELECT function, sum#time.duration ORDER BY sum#time.duration desc LIMIT 2",
+        extra_args: &[],
+    },
+    Case {
+        name: "histogram",
+        query: "AGGREGATE histogram(time.duration, 0, 60, 6) GROUP BY function \
+                ORDER BY function",
+        extra_args: &[],
+    },
+    Case {
+        name: "percentile",
+        query: "AGGREGATE percentile(time.duration, 95) GROUP BY function ORDER BY function",
+        extra_args: &[],
+    },
+    Case {
+        name: "percent-total",
+        query: "AGGREGATE percent_total(time.duration) GROUP BY function ORDER BY function",
+        extra_args: &[],
+    },
+    Case {
+        name: "expand-passthrough",
+        query: "SELECT function, time.duration LIMIT 4 FORMAT expand",
+        extra_args: &[],
+    },
+    Case {
+        name: "flamegraph",
+        query: "AGGREGATE sum(time.duration) WHERE function GROUP BY function FORMAT flamegraph",
+        extra_args: &[],
+    },
+    Case {
+        name: "cali-reaggregation",
+        query: "AGGREGATE count, sum(time.duration) GROUP BY function FORMAT cali",
+        extra_args: &[],
+    },
+    Case {
+        name: "max-groups-overflow",
+        query: "AGGREGATE count, sum(time.duration) GROUP BY function ORDER BY function",
+        extra_args: &["--max-groups", "2"],
+    },
+];
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn update_golden() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1")
+}
+
+/// The deterministic workload the inputs are generated from: the
+/// paper's Listing 1 shape (4 iterations of foo/foo/bar inside an
+/// annotated loop) under an event-trace profile and a virtual clock,
+/// with per-rank time scaling so the two files differ.
+fn generate_rank(rank: u64) -> caliper_format::Dataset {
+    let caliper = Caliper::with_clock(Config::event_trace(), Clock::virtual_clock());
+    caliper.set_global("mpi.rank", rank as i64);
+    caliper.set_global("experiment", "golden");
+    let function = caliper.region_attribute("function");
+    let iteration = caliper.attribute(
+        "loop.iteration",
+        caliper_data::ValueType::Int,
+        caliper_data::Properties::AS_VALUE,
+    );
+    let mut scope = caliper.make_thread_scope();
+    for i in 0..4i64 {
+        scope.begin(&iteration, i);
+        for (name, time_us) in [("foo", 15u64), ("foo", 25), ("bar", 20)] {
+            scope.begin(&function, name);
+            scope.advance_time(time_us * 1_000 * (rank + 1));
+            scope.end(&function).unwrap();
+        }
+        scope.end(&iteration).unwrap();
+    }
+    scope.flush();
+    caliper.take_dataset()
+}
+
+/// The checked-in input files, regenerating them under `UPDATE_GOLDEN=1`.
+fn input_files() -> Vec<PathBuf> {
+    let data_dir = golden_dir().join("data");
+    let paths: Vec<PathBuf> = (0..2)
+        .map(|rank| data_dir.join(format!("rank{rank}.cali")))
+        .collect();
+    if update_golden() {
+        std::fs::create_dir_all(&data_dir).unwrap();
+        for (rank, path) in paths.iter().enumerate() {
+            caliper_format::cali::write_file(&generate_rank(rank as u64), path).unwrap();
+        }
+    }
+    for path in &paths {
+        assert!(
+            path.exists(),
+            "golden input {} missing — run UPDATE_GOLDEN=1 cargo test -p cali-cli --test cli_golden",
+            path.display()
+        );
+    }
+    paths
+}
+
+fn run_cali_query(query: &str, extra_args: &[&str], inputs: &[PathBuf]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cali-query"))
+        .arg("-q")
+        .arg(query)
+        .args(extra_args)
+        .args(inputs)
+        .output()
+        .expect("run cali-query")
+}
+
+/// Compare `actual` to the checked-in expectation (or rewrite it under
+/// `UPDATE_GOLDEN=1`), reporting a unified-ish diff on mismatch.
+fn check_golden(name: &str, actual: &str) {
+    let expected_path = golden_dir().join("expected").join(format!("{name}.txt"));
+    if update_golden() {
+        std::fs::create_dir_all(expected_path.parent().unwrap()).unwrap();
+        std::fs::write(&expected_path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}) — run UPDATE_GOLDEN=1 cargo test -p cali-cli --test cli_golden",
+            expected_path.display()
+        )
+    });
+    if expected != actual {
+        let mut diff = String::new();
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                diff.push_str(&format!("line {}:\n- {e}\n+ {a}\n", i + 1));
+            }
+        }
+        panic!(
+            "golden mismatch for '{name}' ({} expected lines, {} actual):\n{diff}\
+             full actual output:\n{actual}\n\
+             (UPDATE_GOLDEN=1 regenerates expectations after intentional changes)",
+            expected.lines().count(),
+            actual.lines().count(),
+        );
+    }
+}
+
+#[test]
+fn golden_query_outputs_are_stable() {
+    let inputs = input_files();
+    for case in CASES {
+        let out = run_cali_query(case.query, case.extra_args, &inputs);
+        assert!(
+            out.status.success(),
+            "case '{}' failed: {}",
+            case.name,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+        check_golden(case.name, &stdout);
+    }
+}
+
+/// The `--stats` block is part of the conformance surface too: its
+/// stable metrics are pure functions of the input bytes, so the stderr
+/// block is pinned as a golden file *and* must be byte-identical for
+/// every `--threads N` (the determinism contract from DESIGN.md §8).
+#[test]
+fn golden_stats_block_is_stable_across_thread_counts() {
+    let inputs = input_files();
+    let query = "AGGREGATE count, sum(time.duration) GROUP BY function ORDER BY function";
+    let run_with_threads = |threads: &str| {
+        let out = run_cali_query(query, &["--stats", "--threads", threads], &inputs);
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.stdout, String::from_utf8(out.stderr).unwrap())
+    };
+    let (stdout1, stats1) = run_with_threads("1");
+    check_golden("stats-stderr", &stats1);
+    for threads in ["2", "4"] {
+        let (stdout_n, stats_n) = run_with_threads(threads);
+        assert_eq!(stdout1, stdout_n, "--threads {threads} stdout diverged");
+        assert_eq!(stats1, stats_n, "--threads {threads} --stats block diverged");
+    }
+}
+
+/// `--stats=json` must parse with the repo's own JSON reader, contain
+/// the same values as the text form, and keep its keys sorted — the
+/// machine-readable schema smoke test.
+#[test]
+fn stats_json_parses_and_matches_schema() {
+    let inputs = input_files();
+    let query = "AGGREGATE count GROUP BY function";
+    let out = run_cali_query(query, &["--stats=json"], &inputs);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let json = caliper_format::parse_json(stderr.trim()).expect("valid JSON on stderr");
+    let keys = json.keys();
+    assert!(!keys.is_empty(), "top-level object with members");
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "stats keys must be sorted");
+    // Non-zero pipeline activity is visible through the report.
+    let reader_records = json
+        .get("format.reader.records")
+        .and_then(|v| v.as_num())
+        .expect("format.reader.records present");
+    assert!(reader_records > 0.0);
+    let agg_records = json
+        .get("query.aggregator.records")
+        .and_then(|v| v.as_num())
+        .expect("query.aggregator.records present");
+    assert!(agg_records > 0.0);
+    assert_eq!(
+        json.get("format.reader.files").and_then(|v| v.as_num()),
+        Some(2.0)
+    );
+}
+
+/// The golden inputs themselves regenerate bit-identically: guards
+/// against accidental nondeterminism in the runtime → writer path
+/// (which would make UPDATE_GOLDEN churn unrelated bytes).
+#[test]
+fn golden_inputs_regenerate_deterministically() {
+    let a = caliper_format::cali::to_bytes(&generate_rank(0));
+    let b = caliper_format::cali::to_bytes(&generate_rank(0));
+    assert_eq!(a, b);
+    let checked_in = std::fs::read(golden_dir().join("data/rank0.cali")).unwrap();
+    assert_eq!(
+        a, checked_in,
+        "generator drifted from the checked-in golden input — \
+         run UPDATE_GOLDEN=1 to refresh data and expectations together"
+    );
+}
+
+/// Dogfood end-to-end: a runtime channel with `metrics.enable = true`
+/// writes its own metrics as snapshot records, and the `cali-query`
+/// binary aggregates them with ordinary CalQL.
+#[test]
+fn dogfooded_metrics_are_queryable_with_calql() {
+    let dir = std::env::temp_dir().join(format!("cali-golden-dogfood-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let caliper = Caliper::with_clock(
+        Config::event_trace().set("metrics.enable", "true"),
+        Clock::virtual_clock(),
+    );
+    let function = caliper.region_attribute("function");
+    let mut scope = caliper.make_thread_scope();
+    for _ in 0..3 {
+        scope.begin(&function, "work");
+        scope.advance_time(1_000);
+        scope.end(&function).unwrap();
+    }
+    scope.flush();
+    drop(scope);
+    let path = dir.join("dogfood.cali");
+    caliper_format::cali::write_file(&caliper.take_dataset(), &path).unwrap();
+    drop::<Arc<Caliper>>(caliper);
+
+    let out = run_cali_query(
+        "AGGREGATE sum(metric.value) GROUP BY metric.name WHERE metric.name \
+         ORDER BY metric.name FORMAT csv",
+        &[],
+        &[path],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // 3 x (begin + end) = 6 ops / 6 event snapshots.
+    assert!(stdout.contains("runtime.blackboard.ops,6"), "{stdout}");
+    assert!(stdout.contains("runtime.snapshots,6"), "{stdout}");
+    assert!(stdout.contains("runtime.flushed_threads,1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -17,6 +17,8 @@
 //! * [`SnapshotRecord`] (compressed) and [`FlatRecord`] (expanded) —
 //!   the two record representations used throughout the system.
 //! * [`FxHasher`] — the fast aggregation-key hasher.
+//! * [`MetricsRegistry`] — pipeline self-instrumentation: lock-cheap
+//!   named counters/gauges/timers the pipeline uses to profile itself.
 //!
 //! ```
 //! use caliper_data::{AttributeStore, RecordBuilder, Value};
@@ -37,6 +39,7 @@
 
 pub mod attribute;
 pub mod fxhash;
+pub mod metrics;
 pub mod node;
 pub mod record;
 pub mod store;
@@ -44,6 +47,7 @@ pub mod value;
 
 pub use attribute::{AttrId, Attribute, Properties, ATTR_NONE};
 pub use fxhash::{fxhash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use metrics::{MetricKind, MetricSample, MetricsRegistry, Stability};
 pub use node::{ContextTree, NodeData, NodeId, NODE_NONE};
 pub use record::{Entry, FlatRecord, RecordBuilder, SnapshotRecord};
 pub use store::{AttributeConflict, AttributeStore};

@@ -526,8 +526,12 @@ pub fn from_binary_with(
 
 /// Write a dataset to a binary file.
 pub fn write_file(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let bytes = to_binary(ds);
+    caliper_data::metrics::global()
+        .counter("format.writer.bytes")
+        .add(bytes.len() as u64);
     let mut file = std::fs::File::create(path)?;
-    file.write_all(&to_binary(ds))?;
+    file.write_all(&bytes)?;
     file.flush()
 }
 

@@ -277,10 +277,11 @@ pub fn to_bytes(ds: &Dataset) -> Vec<u8> {
 
 /// Write a dataset to a file at `path`.
 pub fn write_file(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    let mut w = CaliWriter::new(io::BufWriter::new(file));
-    w.write_dataset(ds)?;
-    w.finish()?.flush()
+    let bytes = to_bytes(ds);
+    caliper_data::metrics::global()
+        .counter("format.writer.bytes")
+        .add(bytes.len() as u64);
+    std::fs::write(path, bytes)
 }
 
 /// Incremental `.cali` reader state.

@@ -1,9 +1,11 @@
-//! Hand-rolled JSON encoder for record lists.
+//! Hand-rolled JSON encoder (record lists) and a minimal parser.
 //!
-//! Emits an array of objects, one per record, with attribute labels as
-//! keys. Implemented in-repo (rather than via serde_json) to keep the
-//! dependency closure small; the subset of JSON we need — objects of
-//! string/number/bool values — is tiny.
+//! The encoder emits an array of objects, one per record, with
+//! attribute labels as keys. The parser ([`parse_json`]) reads back the
+//! same subset — the tools use it to validate their own machine-
+//! readable outputs (`cali-query --stats=json`, `FORMAT json`) without
+//! pulling in serde_json; the subset of JSON we need — objects and
+//! arrays of string/number/bool values — is tiny.
 
 use caliper_data::{AttributeStore, FlatRecord, Value};
 
@@ -89,6 +91,270 @@ pub fn records_to_json(store: &AttributeStore, records: &[FlatRecord]) -> String
     out
 }
 
+/// A parsed JSON value (the decode-side counterpart of the encoder
+/// above). Object members keep source order so callers can check
+/// key-ordering contracts (the `--stats=json` block must be sorted).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced by the encoder for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64; integers up to 2^53 are exact).
+    Num(f64),
+    /// A string literal, unescaped.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, members in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup for objects; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Object keys in source order; empty for other variants.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Object(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Error from [`parse_json`]: a message plus the byte offset it refers
+/// to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON document. Trailing whitespace is allowed; trailing
+/// content is an error.
+pub fn parse_json(input: &str) -> Result<Json, JsonError> {
+    let mut p = JsonParser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing content after JSON value"));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            // Surrogates (emitted only for non-BMP text,
+                            // which our encoder writes verbatim) are not
+                            // supported; map them to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +392,51 @@ mod tests {
         let arr = records_to_json(&store, &[rec.clone(), rec]);
         assert!(arr.starts_with("[\n{"));
         assert_eq!(arr.matches("\"count\":7").count(), 2);
+    }
+
+    #[test]
+    fn parser_reads_scalars_and_structure() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(
+            parse_json("\"a\\nb\\u0041\"").unwrap(),
+            Json::Str("a\nbA".into())
+        );
+        let doc = parse_json("{\"a\":[1,2],\"b\":{\"c\":\"x\"}}").unwrap();
+        assert_eq!(doc.keys(), ["a", "b"]);
+        assert_eq!(
+            doc.get("a"),
+            Some(&Json::Array(vec![Json::Num(1.0), Json::Num(2.0)]))
+        );
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Str("x".into())));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1 2", "\"x", "{,}"] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = parse_json("[1, }").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn parser_roundtrips_encoder_output() {
+        let store = AttributeStore::new();
+        let func = store.create_simple("function", ValueType::Str);
+        let t = store.create_simple("t", ValueType::Float);
+        let n = store.create_simple("n", ValueType::UInt);
+        let mut rec = FlatRecord::new();
+        rec.push(func.id(), Value::str("main \"quoted\""));
+        rec.push(t.id(), Value::Float(2.0));
+        rec.push(n.id(), Value::UInt(7));
+        let doc = parse_json(&records_to_json(&store, &[rec])).unwrap();
+        let Json::Array(items) = &doc else {
+            panic!("expected array, got {doc:?}")
+        };
+        assert_eq!(items[0].get("function"), Some(&Json::Str("main \"quoted\"".into())));
+        assert_eq!(items[0].get("t").and_then(Json::as_num), Some(2.0));
+        assert_eq!(items[0].get("n").and_then(Json::as_num), Some(7.0));
     }
 }

@@ -45,6 +45,7 @@ pub mod table;
 pub use cali::{CaliError, CaliReader, CaliWriter};
 pub use dataset::Dataset;
 pub use journal::{FlushPolicy, JournalCounters, JournalWriter, RecoveryReport, SEQ_ATTR};
+pub use json::{parse_json, Json, JsonError};
 pub use policy::{ReadPolicy, ReadReport, MAX_REPORTED_ERRORS};
 pub use reader::{
     read_path, read_path_into, read_path_into_reported, read_path_reported, RecordBatch,

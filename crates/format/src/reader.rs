@@ -76,7 +76,26 @@ pub fn read_path_into_reported(
             .map_err(attribute)?;
         reader.finish()
     };
+    record_read_metrics(bytes.len() as u64, &report);
     Ok((ds, report))
+}
+
+/// Fold one file's read outcome into the global `format.reader.*`
+/// metrics. Every value is a function of the input bytes alone, so the
+/// metrics stay [`Stability::Stable`](caliper_data::Stability) no
+/// matter how many threads read files concurrently.
+fn record_read_metrics(bytes: u64, report: &ReadReport) {
+    let m = caliper_data::metrics::global();
+    m.counter("format.reader.files").inc();
+    m.counter("format.reader.bytes").add(bytes);
+    m.counter("format.reader.records").add(report.records);
+    m.counter("format.reader.skipped").add(report.skipped);
+    m.counter("format.reader.dangling_dropped")
+        .add(report.dangling_dropped);
+    m.counter("format.reader.truncated")
+        .add(u64::from(report.truncated));
+    m.counter("format.reader.errors")
+        .add(report.errors.len() as u64 + report.suppressed_errors);
 }
 
 /// A contiguous run of one dataset's snapshot records, sharing the

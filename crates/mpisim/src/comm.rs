@@ -176,13 +176,20 @@ impl Comm {
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> Result<(), CommError> {
         assert!(dest < self.size, "send to rank {dest} out of range");
         self.fault_point();
-        self.inboxes[dest]
+        let sent = self
+            .inboxes[dest]
             .send(Packet {
                 src: self.rank,
                 tag,
                 payload: Box::new(value),
             })
-            .map_err(|_| CommError::disconnected(format!("send to rank {dest}")))
+            .map_err(|_| CommError::disconnected(format!("send to rank {dest}")));
+        if sent.is_ok() {
+            caliper_data::metrics::global()
+                .counter_volatile("mpisim.comm.messages")
+                .inc();
+        }
+        sent
     }
 
     fn take_pending(&mut self, src: Option<usize>, tag: Tag) -> Option<Packet> {
@@ -222,6 +229,9 @@ impl Comm {
                     match self.inbox.recv_timeout(remaining) {
                         Ok(p) => p,
                         Err(RecvTimeoutError::Timeout) => {
+                            caliper_data::metrics::global()
+                                .counter_volatile("mpisim.comm.timeouts")
+                                .inc();
                             return Err(CommError::timeout(Self::recv_context(src, tag), total));
                         }
                         Err(RecvTimeoutError::Disconnected) => {

@@ -66,7 +66,12 @@ where
         .enumerate()
         .map(|(rank, r)| match r {
             Ok(r) => Some(r),
-            Err(e) if e.is::<RankKilled>() => None,
+            Err(e) if e.is::<RankKilled>() => {
+                caliper_data::metrics::global()
+                    .counter_volatile("mpisim.ranks_lost")
+                    .inc();
+                None
+            }
             Err(e) => resume_rank_panic(rank, e),
         })
         .collect()
@@ -149,6 +154,43 @@ fn silence_injected_kill_panics() {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    /// Current value of a named counter in the process-global registry.
+    fn global_counter(name: &str) -> u64 {
+        caliper_data::metrics::global()
+            .snapshot()
+            .into_iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn faults_and_messages_feed_the_metrics_registry() {
+        // Other tests in this process also send messages and kill
+        // ranks, so assert on deltas, not absolute values.
+        let msgs_before = global_counter("mpisim.comm.messages");
+        let lost_before = global_counter("mpisim.ranks_lost");
+        let out = run_with_faults(3, FaultPlan::new().kill(2, 0), |mut comm| {
+            match comm.rank() {
+                0 => {
+                    let v: u64 = comm.recv(1, 0).unwrap();
+                    v
+                }
+                1 => {
+                    comm.send(0, 0, 17u64).unwrap();
+                    0
+                }
+                _ => {
+                    let _ = comm.send(0, 0, 0u64); // scripted death here
+                    0
+                }
+            }
+        });
+        assert_eq!(out, vec![Some(17), Some(0), None]);
+        assert!(global_counter("mpisim.comm.messages") > msgs_before);
+        assert!(global_counter("mpisim.ranks_lost") > lost_before);
+    }
 
     #[test]
     fn ranks_see_their_ids() {

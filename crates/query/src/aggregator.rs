@@ -432,6 +432,21 @@ impl Aggregator {
             }
             out.push(rec);
         }
+
+        // Self-instrumentation (flush-time, not per-record, so the
+        // streaming update path stays atomics-free): everything below is
+        // a function of the input records alone, so the `--stats` block
+        // stays byte-identical for any worker-thread count.
+        let m = caliper_data::metrics::global();
+        m.counter("query.aggregator.records")
+            .add(self.records_processed);
+        m.counter("query.aggregator.groups_flushed").add(out.len() as u64);
+        m.gauge("query.aggregator.groups_live")
+            .set_max(self.db.len() as u64);
+        m.counter("query.aggregator.overflow_records")
+            .add(self.overflow_records());
+        m.counter("query.aggregator.overflow_folds")
+            .add(u64::from(self.overflow.is_some()));
         out
     }
 

@@ -19,12 +19,15 @@ fn quote_label(label: &str) -> String {
         && label
             .chars()
             .all(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | '#' | ':' | '-' | '/'));
-    // Keywords would be swallowed as clause starts.
+    // Keywords would be swallowed as clause starts; operator names
+    // would trigger SELECT's `select sum(x)` sugar and re-parse as an
+    // aggregation op instead of a column label.
+    let lower = label.to_ascii_lowercase();
     let keywordish = matches!(
-        label.to_ascii_lowercase().as_str(),
+        lower.as_str(),
         "aggregate" | "group" | "by" | "where" | "select" | "format" | "order" | "let" | "as"
-            | "not" | "asc" | "desc"
-    );
+            | "not" | "asc" | "desc" | "limit"
+    ) || OpKind::from_name(&lower).is_some();
     if bare_ok && !keywordish {
         label.to_string()
     } else {
@@ -36,6 +39,9 @@ fn quote_label(label: &str) -> String {
 fn render_value(value: &Value) -> String {
     match value {
         Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        // An integral float must keep a decimal point: `1.0` rendered
+        // as "1" would re-parse as Int and break spec round-tripping.
+        Value::Float(x) if x.is_finite() && x.fract() == 0.0 => format!("{x:.1}"),
         other => other.to_string(),
     }
 }

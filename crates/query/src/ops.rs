@@ -311,6 +311,9 @@ impl Reducer {
                 *ua += ub;
                 *oa += ob;
             }
+            (Reducer::PercentTotal(a), Reducer::PercentTotal(b)) => {
+                *a += b;
+            }
             (
                 Reducer::Moments {
                     n: na,
@@ -538,7 +541,17 @@ mod tests {
 
     #[test]
     fn merge_matches_sequential_updates() {
-        for kind in [OpKind::Count, OpKind::Sum, OpKind::Min, OpKind::Max, OpKind::Avg] {
+        for kind in [
+            OpKind::Count,
+            OpKind::Sum,
+            OpKind::Min,
+            OpKind::Max,
+            OpKind::Avg,
+            // Regression: percent_total partials from different shards
+            // must merge (the missing arm used to trip the mismatched-
+            // reducer debug assertion and drop data in release builds).
+            OpKind::PercentTotal,
+        ] {
             let o = op(kind, Some("x"));
             let mut all = Reducer::new(&o);
             let mut left = Reducer::new(&o);
@@ -554,6 +567,8 @@ mod tests {
             }
             left.merge(&right);
             assert_eq!(left.finish(0.0), all.finish(0.0), "kind {kind:?}");
+            assert_eq!(left.finish(100.0), all.finish(100.0), "kind {kind:?}");
+            assert_eq!(left.raw_sum(), all.raw_sum(), "kind {kind:?}");
         }
     }
 
@@ -666,5 +681,109 @@ mod tests {
         let mut r = Reducer::new(&op(OpKind::Avg, Some("x")));
         r.update(&Value::str("not a number"));
         assert_eq!(r.finish(0.0), None);
+    }
+
+    #[test]
+    fn min_max_across_mixed_numeric_types() {
+        // Mixed Int/UInt/Float streams compare numerically, and the
+        // winner keeps its original type (a profile mixing integer
+        // counters with float durations must not silently coerce).
+        let mut lo = Reducer::new(&op(OpKind::Min, Some("x")));
+        let mut hi = Reducer::new(&op(OpKind::Max, Some("x")));
+        for v in [Value::Int(-5), Value::UInt(3), Value::Float(2.5)] {
+            lo.update(&v);
+            hi.update(&v);
+        }
+        assert_eq!(lo.finish(0.0), Some(Value::Int(-5)));
+        assert_eq!(hi.finish(0.0), Some(Value::UInt(3)));
+    }
+
+    #[test]
+    fn min_max_ties_keep_first_seen_value() {
+        // Equal magnitudes across types are not "better": the first
+        // occurrence wins, so results are deterministic in input order.
+        let mut lo = Reducer::new(&op(OpKind::Min, Some("x")));
+        let mut hi = Reducer::new(&op(OpKind::Max, Some("x")));
+        for v in [Value::Int(2), Value::Float(2.0), Value::UInt(2)] {
+            lo.update(&v);
+            hi.update(&v);
+        }
+        assert_eq!(lo.finish(0.0), Some(Value::Int(2)));
+        assert_eq!(hi.finish(0.0), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn sum_single_value_keeps_its_type() {
+        for v in [Value::Int(-3), Value::UInt(7), Value::Float(0.25)] {
+            let mut r = Reducer::new(&op(OpKind::Sum, Some("x")));
+            r.update(&v);
+            assert_eq!(r.finish(0.0), Some(v));
+        }
+    }
+
+    #[test]
+    fn histogram_zero_width_range() {
+        // lo == hi: bin width clamps to the smallest positive float, so
+        // exactly-lo values land in bin 0 and anything above overflows
+        // instead of dividing by zero.
+        let mut hop = op(OpKind::Histogram, Some("x"));
+        hop.args = vec![Value::Int(0), Value::Int(0), Value::Int(4)];
+        let mut r = Reducer::new(&hop);
+        for v in [-1.0, 0.0, 1.0] {
+            r.update(&Value::Float(v));
+        }
+        assert_eq!(r.finish(0.0), Some(Value::str("1|1 0 0 0|1")));
+    }
+
+    #[test]
+    fn histogram_inverted_range_degrades_to_under_over() {
+        // lo > hi is nonsense input; it must not panic. The clamped
+        // width sorts everything into under / bin 0 / over.
+        let mut hop = op(OpKind::Histogram, Some("x"));
+        hop.args = vec![Value::Int(10), Value::Int(0), Value::Int(2)];
+        let mut r = Reducer::new(&hop);
+        for v in [5.0, 10.0, 11.0] {
+            r.update(&Value::Float(v));
+        }
+        assert_eq!(r.finish(0.0), Some(Value::str("1|1 0|1")));
+    }
+
+    #[test]
+    fn percentile_extremes_hit_min_and_max() {
+        for (p, expect) in [(0i64, 10.0), (100, 90.0)] {
+            let mut pop = op(OpKind::Percentile, Some("x"));
+            pop.args = vec![Value::Int(p)];
+            let mut r = Reducer::new(&pop);
+            for v in [30, 10, 90, 50] {
+                r.update(&Value::Int(v));
+            }
+            assert_eq!(r.finish(0.0), Some(Value::Float(expect)), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_sides_is_identity() {
+        for kind in [OpKind::Sum, OpKind::Min, OpKind::Max, OpKind::Avg] {
+            let o = op(kind, Some("x"));
+
+            let expect = if kind == OpKind::Avg {
+                Value::Float(4.0)
+            } else {
+                Value::Int(4)
+            };
+
+            // empty other: no-op
+            let mut a = Reducer::new(&o);
+            a.update(&Value::Int(4));
+            a.merge(&Reducer::new(&o));
+            assert_eq!(a.finish(0.0), Some(expect), "kind {kind:?}");
+
+            // empty self: adopts other
+            let mut b = Reducer::new(&o);
+            let mut other = Reducer::new(&o);
+            other.update(&Value::Int(4));
+            b.merge(&other);
+            assert_eq!(b.finish(0.0), a.finish(0.0), "kind {kind:?}");
+        }
     }
 }

@@ -387,12 +387,23 @@ pub fn parallel_query_files<P: AsRef<Path>>(
         // Deterministic root fold: ascending unit order, first error (in
         // unit order) wins.
         partials.sort_by_key(|(file, batch, _)| (*file, *batch));
+        let metrics = caliper_data::metrics::global();
+        metrics
+            .counter_volatile("query.parallel.units")
+            .add(partials.len() as u64);
+        metrics
+            .gauge_volatile("query.parallel.workers")
+            .set_max(threads as u64);
+        let merge_timer = metrics.timer("query.parallel.merge");
         let t0 = Instant::now();
         let mut root: Option<Pipeline> = None;
         for (_, _, partial) in partials {
             let shard = partial.map_err(ParallelQueryError::Read)?;
             match &mut root {
-                Some(root) => root.merge(shard),
+                Some(root) => {
+                    let _scope = merge_timer.start();
+                    root.merge(shard);
+                }
                 None => root = Some(shard),
             }
         }

@@ -20,6 +20,7 @@
 //! | `journal.max_buffer`  | journal buffer byte cap forcing a flush           |
 //! | `journal.fsync`       | `fsync` the journal after each flush              |
 //! | `journal.append`      | resume an existing journal instead of truncating  |
+//! | `metrics.enable`      | per-channel self-instrumentation registry on/off  |
 //!
 //! Unknown keys are kept (services may define their own).
 //! [`Config::validate`] checks the values of all recognized keys and
@@ -186,6 +187,14 @@ impl Config {
                 })?;
             }
         }
+        if let Some(v) = self.get("metrics.enable") {
+            if !matches!(v.trim(), "true" | "false" | "1" | "0") {
+                return Err(ConfigError::for_key(
+                    "metrics.enable",
+                    format!("expected a boolean, got '{v}'"),
+                ));
+            }
+        }
         // The journal.* keys share their validation with the journal
         // service so the two cannot drift apart.
         crate::journal::JournalConfig::from_config(self)?;
@@ -314,6 +323,16 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(err.message.contains("journal.path"), "{err}");
+
+        let err = Config::new()
+            .set("metrics.enable", "yes")
+            .validate()
+            .unwrap_err();
+        assert!(err.message.contains("metrics.enable"), "{err}");
+        Config::new()
+            .set("metrics.enable", "true")
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -16,7 +16,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use caliper_data::{Attribute, AttributeStore, ContextTree, Properties, Value, ValueType};
+use caliper_data::{
+    Attribute, AttributeStore, ContextTree, MetricsRegistry, Properties, SnapshotRecord, Value,
+    ValueType,
+};
 use caliper_format::Dataset;
 use parking_lot::{Mutex, RwLock};
 
@@ -39,6 +42,11 @@ pub struct Channel {
     config_errors: Vec<ConfigError>,
     /// The channel's write-ahead snapshot journal, when configured.
     journal: Option<Arc<JournalSink>>,
+    /// Self-instrumentation registry (`metrics.enable = true`). Each
+    /// channel gets its own instance — not the process global — so a
+    /// dogfooded profile only reports its own channel's activity and
+    /// parallel tests cannot bleed counts into each other.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Channel {
@@ -61,6 +69,9 @@ impl Channel {
             }
             Err(e) => config_errors.push(e),
         }
+        let metrics = config
+            .get_bool("metrics.enable", false)
+            .then(|| Arc::new(MetricsRegistry::new()));
         Channel {
             name: name.to_string(),
             config,
@@ -69,6 +80,7 @@ impl Channel {
             flushed_threads: AtomicU64::new(0),
             config_errors,
             journal,
+            metrics,
         }
     }
 
@@ -94,6 +106,13 @@ impl Channel {
         self.journal.as_ref()
     }
 
+    /// The channel's self-instrumentation registry, when the profile
+    /// sets `metrics.enable = true`. `None` means metrics are off and
+    /// the snapshot hot path performs zero extra atomic operations.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
     /// Set a dataset-global metadata value on this channel.
     pub fn set_global(&self, label: &str, value: impl Into<Value>) {
         let mut collected = self.collected.lock();
@@ -110,6 +129,11 @@ impl Channel {
         collected.globals.extend(records.globals);
         self.total_snapshots.fetch_add(snapshots, Ordering::Relaxed);
         self.flushed_threads.fetch_add(1, Ordering::Relaxed);
+        // Flush is a cold path (once per thread), so the by-name
+        // registry lookup is fine here.
+        if let Some(m) = &self.metrics {
+            m.counter("runtime.flushed_threads").inc();
+        }
     }
 
     /// Take the collected dataset (e.g. to write a `.cali` file),
@@ -120,7 +144,15 @@ impl Channel {
         if let Some(journal) = &self.journal {
             journal.flush();
         }
+        if let Some(metrics) = &self.metrics {
+            if let Some(journal) = &self.journal {
+                sample_journal_stats(metrics, &journal.stats());
+            }
+        }
         let mut collected = self.collected.lock();
+        if let Some(metrics) = &self.metrics {
+            append_metric_records(&mut collected, metrics);
+        }
         let store = Arc::clone(&collected.store);
         let tree = Arc::clone(&collected.tree);
         std::mem::replace(&mut *collected, Dataset::with_context(store, tree))
@@ -147,6 +179,51 @@ impl Channel {
     /// Number of thread scopes that have flushed into this channel.
     pub fn flushed_threads(&self) -> u64 {
         self.flushed_threads.load(Ordering::Relaxed)
+    }
+}
+
+/// Fold a journal sink's accounting into the channel registry as
+/// gauges, so the dogfooded profile reports journal health (buffer
+/// flushes, fsyncs, write errors, disabled sinks) alongside the
+/// runtime counters. Called at dataset-take time — the journal keeps
+/// its own counters internally, so the hot path pays nothing extra.
+fn sample_journal_stats(metrics: &MetricsRegistry, stats: &crate::journal::JournalStats) {
+    metrics.gauge("runtime.journal.appended").set(stats.appended);
+    metrics.gauge("runtime.journal.durable").set(stats.durable);
+    metrics.gauge("runtime.journal.flushes").set(stats.flushes);
+    metrics
+        .gauge("runtime.journal.forced_flushes")
+        .set(stats.forced_flushes);
+    metrics.gauge("runtime.journal.syncs").set(stats.syncs);
+    metrics
+        .gauge("runtime.journal.write_errors")
+        .set(stats.write_errors);
+    metrics
+        .gauge("runtime.journal.disabled")
+        .set(u64::from(stats.disabled));
+}
+
+/// Emit the registry as ordinary snapshot records — one per metric,
+/// carrying `metric.name`, `metric.kind`, and `metric.value` — so a
+/// dogfooded profile can be analysed with the same CalQL pipeline as
+/// the program's own data, e.g.
+/// `GROUP BY metric.name AGGREGATE sum(metric.value)`.
+fn append_metric_records(collected: &mut Dataset, metrics: &MetricsRegistry) {
+    let name_attr = collected.attribute("metric.name", ValueType::Str, Properties::AS_VALUE);
+    let kind_attr = collected.attribute("metric.kind", ValueType::Str, Properties::AS_VALUE);
+    let value_attr = collected.attribute(
+        "metric.value",
+        ValueType::UInt,
+        Properties::AS_VALUE | Properties::AGGREGATABLE,
+    );
+    // snapshot() returns samples sorted by name, so the emitted records
+    // are in a deterministic order.
+    for sample in metrics.snapshot() {
+        let mut rec = SnapshotRecord::new();
+        rec.push_imm(name_attr.id(), Value::str(sample.name.as_str()));
+        rec.push_imm(kind_attr.id(), Value::str(sample.kind.name()));
+        rec.push_imm(value_attr.id(), Value::UInt(sample.value));
+        collected.push(rec);
     }
 }
 
@@ -474,6 +551,95 @@ mod tests {
 
         assert_eq!(caliper.take_dataset().len(), 10); // samples
         assert_eq!(events.take_dataset().len(), 2); // begin + end
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_costs_nothing() {
+        let caliper = Caliper::with_clock(Config::event_trace(), Clock::virtual_clock());
+        assert!(caliper.default_channel().metrics().is_none());
+        let function = caliper.region_attribute("function");
+        let mut scope = caliper.make_thread_scope();
+        scope.begin(&function, "x");
+        scope.end(&function).unwrap();
+        scope.flush();
+        let ds = caliper.take_dataset();
+        // No dogfood records, no metric.* attributes.
+        assert_eq!(ds.len(), 2);
+        assert!(ds.store.find("metric.name").is_none());
+    }
+
+    #[test]
+    fn metrics_registry_dogfoods_into_dataset() {
+        let config = Config::event_aggregate("function", "count,sum(time.duration)")
+            .set("metrics.enable", "true");
+        let caliper = Caliper::with_clock(config, Clock::virtual_clock());
+        let function = caliper.region_attribute("function");
+        let mut scope = caliper.make_thread_scope();
+        for _ in 0..3 {
+            scope.begin(&function, "work");
+            scope.advance_time(1_000);
+            scope.end(&function).unwrap();
+        }
+        scope.flush();
+
+        let channel = caliper.default_channel();
+        let metrics = channel.metrics().expect("metrics.enable = true");
+        assert!(!metrics.is_empty());
+
+        // The registry is emitted as snapshot records queryable with
+        // the same CalQL pipeline as the program's own data.
+        let ds = caliper.take_dataset();
+        let result = caliper_query::run_query(
+            &ds,
+            "AGGREGATE sum(metric.value) GROUP BY metric.name WHERE metric.name",
+        )
+        .unwrap();
+        let lookup = |name: &str| {
+            result.lookup(
+                |r, s| {
+                    let attr = s.find("metric.name").unwrap();
+                    r.get(attr.id()) == Some(&Value::str(name))
+                },
+                "sum#metric.value",
+            )
+        };
+        // 3 x (begin + end) = 6 blackboard ops and 6 event snapshots.
+        assert_eq!(lookup("runtime.blackboard.ops"), Some(Value::UInt(6)));
+        assert_eq!(lookup("runtime.snapshots"), Some(Value::UInt(6)));
+        assert_eq!(lookup("runtime.flushed_threads"), Some(Value::UInt(1)));
+    }
+
+    #[test]
+    fn metrics_capture_journal_stats() {
+        let dir = std::env::temp_dir().join(format!(
+            "caliper-metrics-journal-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chan.journal");
+        let config = Config::event_trace()
+            .set("services", "event,timer,trace,journal")
+            .set("journal.enable", "true")
+            .set("journal.path", path.to_str().unwrap())
+            .set("metrics.enable", "true");
+        let caliper = Caliper::with_clock(config, Clock::virtual_clock());
+        let function = caliper.region_attribute("function");
+        let mut scope = caliper.make_thread_scope();
+        scope.begin(&function, "x");
+        scope.end(&function).unwrap();
+        scope.flush();
+        let ds = caliper.take_dataset();
+        let name = ds.store.find("metric.name").unwrap();
+        let value = ds.store.find("metric.value").unwrap();
+        let appended = ds
+            .flat_records()
+            .find(|r| r.get(name.id()) == Some(&Value::str("runtime.journal.appended")))
+            .expect("journal gauge emitted");
+        assert!(
+            appended.get(value.id()).unwrap().to_u64().unwrap() >= 2,
+            "journal appended the two event snapshots"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

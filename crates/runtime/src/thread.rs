@@ -23,6 +23,20 @@ use crate::services::{
     AggregateService, CountersService, ProcCtx, Service, TimerService, TraceService, Trigger,
 };
 
+/// Pre-resolved self-instrumentation handles for one channel scope.
+///
+/// Resolved once at scope creation so the snapshot hot path never
+/// touches the registry's name map — each event costs one relaxed
+/// atomic add per enabled channel. When `metrics.enable` is off the
+/// whole struct is absent and the hot path performs zero extra atomic
+/// operations (the overhead contract in DESIGN.md §8).
+struct ScopeMetrics {
+    /// `runtime.blackboard.ops`: begin/end/set updates observed.
+    blackboard_ops: caliper_data::metrics::Counter,
+    /// `runtime.snapshots`: snapshots processed on this channel.
+    snapshots: caliper_data::metrics::Counter,
+}
+
 /// Per-channel collection state within one thread scope.
 struct ChannelScope {
     channel: Arc<Channel>,
@@ -31,6 +45,7 @@ struct ChannelScope {
     sampler_interval_ns: u64,
     next_sample_ns: u64,
     snapshot_count: u64,
+    metrics: Option<ScopeMetrics>,
 }
 
 impl ChannelScope {
@@ -104,6 +119,11 @@ impl ChannelScope {
             0
         };
 
+        let metrics = channel.metrics().map(|m| ScopeMetrics {
+            blackboard_ops: m.counter("runtime.blackboard.ops"),
+            snapshots: m.counter("runtime.snapshots"),
+        });
+
         ChannelScope {
             channel,
             services,
@@ -111,6 +131,7 @@ impl ChannelScope {
             sampler_interval_ns,
             next_sample_ns: sampler_interval_ns,
             snapshot_count: 0,
+            metrics,
         }
     }
 }
@@ -182,6 +203,19 @@ impl ThreadScope {
             service.consume(&ctx, &rec);
         }
         channel.snapshot_count += 1;
+        if let Some(m) = &channel.metrics {
+            m.snapshots.inc();
+        }
+    }
+
+    /// Count one blackboard update on every metrics-enabled channel.
+    /// With metrics off this touches no atomics (see [`ScopeMetrics`]).
+    fn count_blackboard_op(&self) {
+        for channel in &self.channels {
+            if let Some(m) = &channel.metrics {
+                m.blackboard_ops.inc();
+            }
+        }
     }
 
     /// Trigger an explicit snapshot through the API (on every channel).
@@ -224,6 +258,7 @@ impl ThreadScope {
     pub fn begin(&mut self, attr: &Attribute, value: impl Into<Value>) {
         self.maybe_sample();
         self.event_snapshots(Trigger::Begin(attr.id()));
+        self.count_blackboard_op();
         self.blackboard.begin(attr, value.into());
     }
 
@@ -233,6 +268,7 @@ impl ThreadScope {
     pub fn end(&mut self, attr: &Attribute) -> Result<(), NestingError> {
         self.maybe_sample();
         self.event_snapshots(Trigger::End(attr.id()));
+        self.count_blackboard_op();
         self.blackboard.end(attr)
     }
 
@@ -240,6 +276,7 @@ impl ThreadScope {
     pub fn set(&mut self, attr: &Attribute, value: impl Into<Value>) {
         self.maybe_sample();
         self.event_snapshots(Trigger::Set(attr.id()));
+        self.count_blackboard_op();
         self.blackboard.set(attr, value.into());
     }
 

@@ -82,4 +82,34 @@ cmp -s "$smoke/agg-1.out" "$smoke/agg-2.out" && cmp -s "$smoke/agg-1.out" "$smok
     exit 1
 }
 echo "check.sh: crash-recovery smoke: salvaged $(grep -c . "$smoke/agg-1.out") aggregation rows from a SIGKILLed run"
+
+# Self-instrumentation smoke (the golden-file + property conformance
+# suites themselves ride on `cargo test` above): the --stats block must
+# be sorted, non-trivial, and byte-identical for every --threads N, and
+# --stats=json must stay parseable with the core schema keys present.
+for n in 1 2 4; do
+    "$query" --threads "$n" --stats \
+        -q "AGGREGATE count, sum(time.duration) GROUP BY kernel ORDER BY kernel" \
+        "$smoke/recovered.cali" >/dev/null 2>"$smoke/stats-$n.out"
+done
+LC_ALL=C sort -c "$smoke/stats-1.out" || {
+    echo "check.sh: --stats block is not sorted by metric name" >&2
+    exit 1
+}
+grep -q "^format.reader.records=[1-9]" "$smoke/stats-1.out" || {
+    echo "check.sh: --stats block is missing reader record counts" >&2
+    exit 1
+}
+cmp -s "$smoke/stats-1.out" "$smoke/stats-2.out" && cmp -s "$smoke/stats-1.out" "$smoke/stats-4.out" || {
+    echo "check.sh: --stats block differs across --threads" >&2
+    exit 1
+}
+"$query" --threads 2 --stats=json \
+    -q "AGGREGATE count GROUP BY kernel" "$smoke/recovered.cali" \
+    >/dev/null 2>"$smoke/stats.json"
+grep -q '"query.aggregator.records"' "$smoke/stats.json" || {
+    echo "check.sh: --stats=json is missing aggregator metrics" >&2
+    exit 1
+}
+echo "check.sh: self-instrumentation smoke: --stats stable across thread counts"
 echo "check.sh: all gates passed"
