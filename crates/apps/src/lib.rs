@@ -13,6 +13,7 @@
 //! * [`paradis`] — a generator for the per-rank time-series profile
 //!   datasets of §V-C (2 174 records per rank, 85 unique regions).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cleverleaf;

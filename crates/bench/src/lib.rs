@@ -21,6 +21,7 @@
 //! CSV to stdout with commentary on stderr, so their output can be
 //! piped into plotting tools directly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::Arc;

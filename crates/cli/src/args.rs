@@ -8,8 +8,11 @@ use std::collections::BTreeMap;
 /// positional arguments.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CliArgs {
-    /// `--flag value` / `-f value` options.
+    /// `--flag value` / `-f value` options (last occurrence wins).
     pub options: BTreeMap<String, String>,
+    /// Every occurrence of each value option, in command-line order —
+    /// for flags that may be given repeatedly (`-q Q1 -q Q2`).
+    pub repeated: BTreeMap<String, Vec<String>>,
     /// Bare `--switch` flags.
     pub switches: Vec<String>,
     /// Positional arguments (input files).
@@ -41,13 +44,18 @@ pub fn parse_args(
             // `--flag=value` spelling
             if let Some((name, value)) = name.split_once('=') {
                 out.options.insert(name.to_string(), value.to_string());
+                out.repeated
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(value.to_string());
                 continue;
             }
             if value_flags.contains(&name) {
                 let value = iter
                     .next()
                     .ok_or_else(|| UsageError(format!("flag --{name} requires a value")))?;
-                out.options.insert(name.to_string(), value);
+                out.options.insert(name.to_string(), value.clone());
+                out.repeated.entry(name.to_string()).or_default().push(value);
             } else {
                 out.switches.push(name.to_string());
             }
@@ -70,6 +78,17 @@ impl CliArgs {
     /// Whether a switch is present.
     pub fn has(&self, names: &[&str]) -> bool {
         self.switches.iter().any(|s| names.contains(&s.as_str()))
+    }
+
+    /// Every occurrence of an option under any of its spellings, in
+    /// command-line order per spelling.
+    pub fn get_all(&self, names: &[&str]) -> Vec<&str> {
+        names
+            .iter()
+            .filter_map(|n| self.repeated.get(*n))
+            .flatten()
+            .map(String::as_str)
+            .collect()
     }
 }
 
@@ -97,6 +116,19 @@ mod tests {
     fn equals_spelling() {
         let args = parse_args(strs(&["--np=16"]), &["np"]).unwrap();
         assert_eq!(args.get(&["np"]), Some("16"));
+    }
+
+    #[test]
+    fn repeated_options_are_all_kept() {
+        let args = parse_args(
+            strs(&["-q", "one", "--query", "two", "-q", "three"]),
+            &["q", "query"],
+        )
+        .unwrap();
+        // Scalar lookup keeps the last occurrence per spelling…
+        assert_eq!(args.get(&["q"]), Some("three"));
+        // …while get_all sees every occurrence.
+        assert_eq!(args.get_all(&["q", "query"]), vec!["one", "three", "two"]);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use cali_cli::{parse_args, query_files_streaming_with, read_files_reported};
+use cali_cli::{lint, parse_args, query_files_streaming_with, read_files_reported};
 use caliper_format::{ReadPolicy, ReadReport};
 use caliper_query::{
-    parallel_query_files, ParallelOptions, ParallelQueryError, QueryResult, ShardTimings,
-    OVERFLOW_KEY,
+    analyze, parallel_query_files, parse_query_spanned, ParallelOptions, ParallelQueryError,
+    QueryResult, ShardTimings, OVERFLOW_KEY,
 };
 
 const USAGE: &str = "usage: cali-query [-q QUERY] [-o FILE] [--threads N] INPUT.cali...
@@ -38,6 +38,13 @@ Options:
                       capacity, records with new keys fold into a single
                       \"__overflow__\" bucket (memory stays bounded, totals
                       stay exact, output stays identical for every --threads)
+  --check[=json]      validate the query against the inputs' attribute
+                      schema and exit without aggregating: diagnostics
+                      go to stdout (text carets, or JSON with
+                      --check=json), a summary to stderr; exit 0 clean,
+                      1 on errors, 2 on warnings only
+  --no-lint           suppress the advisory lint warnings normal runs
+                      print on stderr
   --timings           report a per-worker timing breakdown on stderr
   --stats[=FORMAT]    report pipeline self-instrumentation metrics on
                       stderr after the query: sorted name=value lines
@@ -172,11 +179,45 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    let query = args.get(&["q", "query"]).unwrap_or("SELECT *");
+    // --check: validate and exit without touching any snapshot data.
+    // Works without input files too (schema-dependent checks are
+    // simply skipped then).
+    let check_json = match args.get(&["check"]) {
+        Some("json") => Some(true),
+        Some(other) => {
+            eprintln!("cali-query: unknown check format '{other}' (use --check or --check=json)\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        None if args.has(&["check"]) => Some(false),
+        None => None,
+    };
+    if let Some(json) = check_json {
+        let schema = if args.positional.is_empty() {
+            None
+        } else {
+            match lint::infer_schema(&args.positional) {
+                Ok(schema) => Some(schema),
+                Err(e) => {
+                    eprintln!("cali-query: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let checked = lint::check_query("<query>", query, schema.as_ref());
+        if json {
+            println!("{}", checked.render_json());
+        } else {
+            print!("{}", checked.render_text());
+        }
+        let checked = [checked];
+        eprintln!("cali-query: {}", lint::summary_line(&checked));
+        return ExitCode::from(lint::exit_code(&checked));
+    }
     if args.positional.is_empty() {
         eprintln!("cali-query: no input files\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    let query = args.get(&["q", "query"]).unwrap_or("SELECT *");
     let threads = match args.get(&["threads"]).map(str::parse::<usize>) {
         None => ParallelOptions::default().effective_threads(),
         Some(Ok(n)) if n > 0 => n,
@@ -214,8 +255,23 @@ fn main() -> ExitCode {
         None => None,
     };
 
+    // Advisory lint: before running, check the query against the
+    // inputs' schema and surface findings on stderr. Never alters the
+    // result or the exit code; parse errors are left to the engine's
+    // own error path. --no-lint silences it.
+    let listing = args.has(&["list-attributes"]) || args.has(&["list-globals"]);
+    if !listing && !args.has(&["no-lint"]) {
+        if let Ok((spec, spans)) = parse_query_spanned(query) {
+            if let Ok(schema) = lint::infer_schema(&args.positional) {
+                for diag in analyze(&spec, Some(&spans), Some(&schema)) {
+                    eprint!("{}", diag.render("<query>", query));
+                }
+            }
+        }
+    }
+
     let mut partial = false;
-    let rendered = if args.has(&["list-attributes"]) || args.has(&["list-globals"]) {
+    let rendered = if listing {
         let ds = match read_files_reported(&args.positional, policy) {
             Ok((ds, reports)) => {
                 partial |= report_skipped(&reports);

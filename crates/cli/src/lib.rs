@@ -8,12 +8,15 @@
 //!   locally, then partial results are combined up a binomial reduction
 //!   tree to rank 0.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod lint;
 pub mod parallel;
 
 pub use args::{parse_args, CliArgs, UsageError};
+pub use lint::{check_query, exit_code, infer_schema, summary_line, CheckedQuery};
 pub use parallel::{
     parallel_query, parallel_query_resilient, ParallelError, ParallelTimings, ResilientReport,
 };

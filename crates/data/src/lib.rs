@@ -35,6 +35,7 @@
 //! assert_eq!(record.get(iter.id()), Some(&Value::Int(17)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attribute;

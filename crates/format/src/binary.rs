@@ -36,10 +36,10 @@ use crate::policy::{ReadPolicy, ReadReport};
 pub const MAGIC: &[u8; 4] = b"CALB";
 const VERSION: u8 = 1;
 
-const TAG_ATTR: u8 = 0x01;
-const TAG_NODE: u8 = 0x02;
-const TAG_CTX: u8 = 0x03;
-const TAG_GLOBALS: u8 = 0x04;
+pub(crate) const TAG_ATTR: u8 = 0x01;
+pub(crate) const TAG_NODE: u8 = 0x02;
+pub(crate) const TAG_CTX: u8 = 0x03;
+pub(crate) const TAG_GLOBALS: u8 = 0x04;
 
 // ---- varint primitives ----
 
@@ -59,20 +59,20 @@ fn put_zigzag(out: &mut Vec<u8>, v: i64) {
     put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn err(&self, message: impl Into<String>) -> CaliError {
+    pub(crate) fn err(&self, message: impl Into<String>) -> CaliError {
         CaliError::Parse {
             line: self.pos,
             message: message.into(),
         }
     }
 
-    fn u8(&mut self) -> Result<u8, CaliError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CaliError> {
         let b = *self
             .bytes
             .get(self.pos)
@@ -81,7 +81,7 @@ impl<'a> Cursor<'a> {
         Ok(b)
     }
 
-    fn varint(&mut self) -> Result<u64, CaliError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, CaliError> {
         let mut v = 0u64;
         let mut shift = 0;
         loop {
@@ -97,12 +97,12 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn zigzag(&mut self) -> Result<i64, CaliError> {
+    pub(crate) fn zigzag(&mut self) -> Result<i64, CaliError> {
         let v = self.varint()?;
         Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CaliError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CaliError> {
         // `n` comes straight from an attacker-controllable length field;
         // compare against the remainder rather than computing `pos + n`,
         // which overflows for huge lengths.
@@ -114,7 +114,7 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn at_end(&self) -> bool {
+    pub(crate) fn at_end(&self) -> bool {
         self.pos >= self.bytes.len()
     }
 }
@@ -162,7 +162,7 @@ fn type_tag(vtype: ValueType) -> u8 {
     }
 }
 
-fn type_from_tag(tag: u8) -> Option<ValueType> {
+pub(crate) fn type_from_tag(tag: u8) -> Option<ValueType> {
     Some(match tag {
         0 => ValueType::Str,
         1 => ValueType::Int,

@@ -25,14 +25,26 @@ pub fn csv_field(input: &str) -> String {
 
 /// Render records as CSV with one column per attribute in `columns`.
 pub fn records_to_csv(columns: &[Attribute], records: &[FlatRecord]) -> String {
+    records_to_csv_opts(columns, records, true)
+}
+
+/// Render records as CSV, optionally without the header row (`FORMAT
+/// csv(noheader)`).
+pub fn records_to_csv_opts(
+    columns: &[Attribute],
+    records: &[FlatRecord],
+    header: bool,
+) -> String {
     let mut out = String::new();
-    for (i, col) in columns.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+    if header {
+        for (i, col) in columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&csv_field(col.name()));
         }
-        out.push_str(&csv_field(col.name()));
+        out.push('\n');
     }
-    out.push('\n');
     for rec in records {
         for (i, col) in columns.iter().enumerate() {
             if i > 0 {
@@ -70,6 +82,16 @@ mod tests {
         rec.push(n.id(), Value::UInt(5));
         let csv = records_to_csv(&[k, n], &[rec]);
         assert_eq!(csv, "kernel,count\n\"advec,cell\",5\n");
+    }
+
+    #[test]
+    fn noheader_drops_first_line() {
+        let store = AttributeStore::new();
+        let k = store.create_simple("kernel", ValueType::Str);
+        let mut rec = FlatRecord::new();
+        rec.push(k.id(), Value::str("advec"));
+        let csv = records_to_csv_opts(&[k], &[rec], false);
+        assert_eq!(csv, "advec\n");
     }
 
     #[test]

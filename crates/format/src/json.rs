@@ -46,12 +46,12 @@ pub fn value_to_json(value: &Value) -> String {
     }
 }
 
-/// Encode one record as a JSON object. Repeated (nested) attributes are
-/// joined into their path string, matching the table formatter.
-pub fn record_to_json(store: &AttributeStore, record: &FlatRecord) -> String {
-    let mut out = String::from("{");
+/// Collect a record's members as (escaped key, encoded value) pairs.
+/// Repeated (nested) attributes are joined into their path string,
+/// matching the table formatter.
+fn json_members(store: &AttributeStore, record: &FlatRecord) -> Vec<(String, String)> {
     let mut seen = Vec::new();
-    let mut first = true;
+    let mut members = Vec::new();
     for (attr, _) in record.pairs() {
         if seen.contains(attr) {
             continue;
@@ -64,28 +64,65 @@ pub fn record_to_json(store: &AttributeStore, record: &FlatRecord) -> String {
         let value = record
             .path_string(*attr)
             .expect("attribute present by construction");
-        if !first {
+        members.push((escape_json(&name), value_to_json(&value)));
+    }
+    members
+}
+
+/// Encode one record as a JSON object.
+pub fn record_to_json(store: &AttributeStore, record: &FlatRecord) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in json_members(store, record).iter().enumerate() {
+        if i > 0 {
             out.push(',');
         }
-        first = false;
         out.push('"');
-        out.push_str(&escape_json(&name));
+        out.push_str(key);
         out.push_str("\":");
-        out.push_str(&value_to_json(&value));
+        out.push_str(value);
     }
     out.push('}');
     out
 }
 
-/// Encode a record list as a JSON array of objects (pretty: one record
-/// per line).
+/// Encode a record list as a JSON array of objects, one record per line.
 pub fn records_to_json(store: &AttributeStore, records: &[FlatRecord]) -> String {
+    records_to_json_opts(store, records, false)
+}
+
+/// Encode a record list as JSON. With `pretty`, each member gets its own
+/// indented line (`FORMAT json(pretty)`); otherwise one compact object
+/// per line.
+pub fn records_to_json_opts(
+    store: &AttributeStore,
+    records: &[FlatRecord],
+    pretty: bool,
+) -> String {
     let mut out = String::from("[\n");
     for (i, rec) in records.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
-        out.push_str(&record_to_json(store, rec));
+        if pretty {
+            let members = json_members(store, rec);
+            if members.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push_str("{\n");
+                for (j, (key, value)) in members.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str("  \"");
+                    out.push_str(key);
+                    out.push_str("\": ");
+                    out.push_str(value);
+                }
+                out.push_str("\n}");
+            }
+        } else {
+            out.push_str(&record_to_json(store, rec));
+        }
     }
     out.push_str("\n]\n");
     out
@@ -158,6 +195,7 @@ impl std::error::Error for JsonError {}
 /// content is an error.
 pub fn parse_json(input: &str) -> Result<Json, JsonError> {
     let mut p = JsonParser {
+        text: input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -171,6 +209,7 @@ pub fn parse_json(input: &str) -> Result<Json, JsonError> {
 }
 
 struct JsonParser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -313,11 +352,10 @@ impl JsonParser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let ch = s.chars().next().expect("non-empty");
+                    // Consume one UTF-8 scalar. `pos` only ever advances
+                    // by whole tokens or `len_utf8()`, so it stays on a
+                    // char boundary of the source text.
+                    let ch = self.text[self.pos..].chars().next().expect("non-empty");
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -392,6 +430,22 @@ mod tests {
         let arr = records_to_json(&store, &[rec.clone(), rec]);
         assert!(arr.starts_with("[\n{"));
         assert_eq!(arr.matches("\"count\":7").count(), 2);
+    }
+
+    #[test]
+    fn pretty_output_indents_members() {
+        let store = AttributeStore::new();
+        let func = store.create_simple("function", ValueType::Str);
+        let mut rec = FlatRecord::new();
+        rec.push(func.id(), Value::str("main"));
+        let pretty = records_to_json_opts(&store, &[rec.clone()], true);
+        assert_eq!(pretty, "[\n{\n  \"function\": \"main\"\n}\n]\n");
+        // Pretty output must still parse.
+        assert!(parse_json(&pretty).is_ok());
+        assert_eq!(
+            records_to_json_opts(&store, &[rec], false),
+            "[\n{\"function\":\"main\"}\n]\n"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! assert_eq!(back.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
@@ -40,10 +41,12 @@ pub mod journal;
 pub mod json;
 pub mod policy;
 pub mod reader;
+pub mod schema;
 pub mod table;
 
 pub use cali::{CaliError, CaliReader, CaliWriter};
 pub use dataset::Dataset;
+pub use schema::{AttrSchema, Schema};
 pub use journal::{FlushPolicy, JournalCounters, JournalWriter, RecoveryReport, SEQ_ATTR};
 pub use json::{parse_json, Json, JsonError};
 pub use policy::{ReadPolicy, ReadReport, MAX_REPORTED_ERRORS};

@@ -59,6 +59,13 @@ impl Table {
     /// Render with space-aligned columns: strings left-aligned, numeric
     /// columns right-aligned.
     pub fn render(&self) -> String {
+        self.render_opts(true)
+    }
+
+    /// Render, optionally suppressing the header row (`FORMAT
+    /// table(noheader)`). Column widths still account for the headers so
+    /// output aligns with and without them.
+    pub fn render_opts(&self, header: bool) -> String {
         let ncols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
         for row in &self.rows {
@@ -93,7 +100,9 @@ impl Table {
             }
             out.push('\n');
         };
-        write_row(&self.headers, &mut out);
+        if header {
+            write_row(&self.headers, &mut out);
+        }
         for row in &self.rows {
             write_row(row, &mut out);
         }
@@ -163,6 +172,17 @@ mod tests {
         let out = t.render();
         assert_eq!(out.lines().count(), 3);
         assert!(!out.contains('3'));
+    }
+
+    #[test]
+    fn render_opts_can_drop_header() {
+        let mut t = Table::new(vec!["function".into(), "count".into()]);
+        t.push_row(vec!["foo".into(), "2".into()]);
+        let with = t.render_opts(true);
+        let without = t.render_opts(false);
+        assert!(with.starts_with("function"));
+        assert!(!without.contains("function"));
+        assert_eq!(with.lines().last(), without.lines().last());
     }
 
     #[test]

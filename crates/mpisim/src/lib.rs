@@ -24,6 +24,7 @@
 //! assert_eq!(results[0], Some(36)); // only the root holds the total
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collectives;

@@ -277,6 +277,42 @@ impl OutputFormat {
             _ => None,
         }
     }
+
+    /// The canonical format name as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutputFormat::Table => "table",
+            OutputFormat::Csv => "csv",
+            OutputFormat::Json => "json",
+            OutputFormat::Expand => "expand",
+            OutputFormat::Cali => "cali",
+            OutputFormat::Flamegraph => "flamegraph",
+        }
+    }
+
+    /// The option names this formatter understands in
+    /// `FORMAT name(opt, ...)`. All current options are value-less
+    /// flags; the sema pass rejects anything else (code `E008`).
+    pub fn known_options(self) -> &'static [&'static str] {
+        match self {
+            OutputFormat::Table => &["noheader"],
+            OutputFormat::Csv => &["noheader"],
+            OutputFormat::Json => &["pretty"],
+            OutputFormat::Expand | OutputFormat::Cali | OutputFormat::Flamegraph => &[],
+        }
+    }
+}
+
+/// One formatter option from `FORMAT name(opt[=value], ...)`, e.g.
+/// `FORMAT csv(noheader)`. Options are validated against
+/// [`OutputFormat::known_options`] by the sema pass and interpreted by
+/// the formatter at render time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatOpt {
+    /// Option name as written (matched case-insensitively).
+    pub name: String,
+    /// Optional `=value` literal.
+    pub value: Option<Value>,
 }
 
 /// A parsed query: the aggregation scheme plus output control.
@@ -296,6 +332,8 @@ pub struct QuerySpec {
     pub order_by: Vec<SortKey>,
     /// Output format.
     pub format: OutputFormat,
+    /// Formatter options (`FORMAT csv(noheader)`).
+    pub format_opts: Vec<FormatOpt>,
     /// Maximum number of output records (`LIMIT n`), applied after
     /// ORDER BY.
     pub limit: Option<usize>,

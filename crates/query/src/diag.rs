@@ -1,0 +1,363 @@
+//! Shared diagnostic machinery for the CalQL front end.
+//!
+//! Parse errors and semantic findings (see [`crate::sema`]) are
+//! reported through one [`Diagnostic`] type so every tool renders them
+//! identically: a `source:line:col: severity[CODE]: message` header, the
+//! offending query line, and a caret run underlining the byte [`Span`]
+//! the finding refers to. Diagnostics order deterministically (by span,
+//! then code, then message), which lets the CLI golden-test its output
+//! byte for byte.
+
+use std::fmt;
+
+use caliper_format::json::escape_json;
+
+use crate::parser::ParseError;
+
+/// A half-open byte range `[start, end)` into the query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A zero-width span at `pos` (rendered as a single caret).
+    pub fn point(pos: usize) -> Span {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+}
+
+/// Diagnostic severity, ordered least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The query is suspicious but executable (`W…` codes).
+    Warning,
+    /// The query cannot mean what was written (`E…` codes).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name as rendered in diagnostics (`error` / `warning`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding about a query: code, severity, location, message, and an
+/// optional `help:` follow-up line (e.g. a did-you-mean suggestion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`E001`…, `W001`…; see docs/CALQL.md "Diagnostics").
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where in the query text, if known.
+    pub span: Option<Span>,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Optional suggestion rendered as a trailing `help:` line.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, span: Option<Span>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(
+        code: &'static str,
+        span: Option<Span>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a `help:` line (builder style).
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render the diagnostic against its query text:
+    ///
+    /// ```text
+    /// query:1:11: error[E003]: sum() needs a numeric attribute
+    ///   AGGREGATE sum(function) GROUP BY function
+    ///             ^^^^^^^^^^^^^
+    /// ```
+    pub fn render(&self, source: &str, query: &str) -> String {
+        let mut out = String::new();
+        match self.span {
+            Some(span) => {
+                let (line, col) = line_col(query, span.start);
+                out.push_str(&format!(
+                    "{source}:{line}:{col}: {}[{}]: {}\n",
+                    self.severity, self.code, self.message
+                ));
+                let (line_text, line_start) = line_at(query, span.start);
+                out.push_str("  ");
+                out.push_str(line_text);
+                out.push('\n');
+                // Caret run: underline the span within its line (carets
+                // count characters, matching the printed line).
+                let lead = query[line_start..span.start].chars().count();
+                let span_end = span.end.min(line_start + line_text.len()).max(span.start);
+                let width = query[span.start..span_end].chars().count().max(1);
+                out.push_str("  ");
+                out.push_str(&" ".repeat(lead));
+                out.push_str(&"^".repeat(width));
+                out.push('\n');
+            }
+            None => {
+                out.push_str(&format!(
+                    "{source}: {}[{}]: {}\n",
+                    self.severity, self.code, self.message
+                ));
+            }
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("  help: {help}\n"));
+        }
+        out
+    }
+
+    /// Render as one JSON object (`--check=json` / `cali-lint --json`).
+    pub fn render_json(&self, query: &str) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":\"{}\"", self.code));
+        out.push_str(&format!(",\"severity\":\"{}\"", self.severity));
+        out.push_str(&format!(",\"message\":\"{}\"", escape_json(&self.message)));
+        if let Some(span) = self.span {
+            let (line, col) = line_col(query, span.start);
+            out.push_str(&format!(
+                ",\"start\":{},\"end\":{},\"line\":{line},\"col\":{col}",
+                span.start, span.end
+            ));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!(",\"help\":\"{}\"", escape_json(help)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Sort diagnostics deterministically: by span start (spanless
+    /// findings last), span end, code, then message.
+    pub fn sort(diags: &mut [Diagnostic]) {
+        diags.sort_by(|a, b| {
+            let ka = (
+                a.span.map_or(usize::MAX, |s| s.start),
+                a.span.map_or(usize::MAX, |s| s.end),
+                a.code,
+                &a.message,
+            );
+            let kb = (
+                b.span.map_or(usize::MAX, |s| s.start),
+                b.span.map_or(usize::MAX, |s| s.end),
+                b.code,
+                &b.message,
+            );
+            ka.cmp(&kb)
+        });
+    }
+
+    /// True if any diagnostic in the list is an error.
+    pub fn has_errors(diags: &[Diagnostic]) -> bool {
+        diags.iter().any(|d| d.severity == Severity::Error)
+    }
+}
+
+impl From<&ParseError> for Diagnostic {
+    /// Every lex/parse failure becomes the single syntax code `E001`.
+    fn from(e: &ParseError) -> Diagnostic {
+        Diagnostic::error(
+            "E001",
+            Some(Span::new(e.pos, e.end)),
+            format!("syntax error: {}", e.message),
+        )
+    }
+}
+
+/// 1-based line and column (in characters) of a byte offset. Offsets
+/// past the end of the text point one past the last character.
+pub fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(text.len());
+    let before = &text[..offset];
+    let line = before.matches('\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let col = text[line_start..offset].chars().count() + 1;
+    (line, col)
+}
+
+/// The line containing `offset` (without its newline) and the byte
+/// offset where it starts.
+fn line_at(text: &str, offset: usize) -> (&str, usize) {
+    let offset = offset.min(text.len());
+    let start = text[..offset].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let end = text[start..]
+        .find('\n')
+        .map(|i| start + i)
+        .unwrap_or(text.len());
+    (&text[start..end], start)
+}
+
+/// Levenshtein edit distance, used for did-you-mean suggestions.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(prev + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The closest candidate within an edit-distance budget proportional to
+/// the name's length (ties break lexicographically, so suggestions are
+/// deterministic). Candidates must be iterated in a stable order for
+/// determinism across runs; callers pass sorted sets.
+pub fn suggest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let budget = (name.chars().count() / 3).clamp(1, 4);
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        if cand == name {
+            continue;
+        }
+        let d = edit_distance(name, cand);
+        if d <= budget && best.is_none_or(|(bd, bc)| d < bd || (d == bd && cand < bc)) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_lines_and_chars() {
+        let text = "AGGREGATE count\nGROUP BY kernel";
+        assert_eq!(line_col(text, 0), (1, 1));
+        assert_eq!(line_col(text, 10), (1, 11));
+        assert_eq!(line_col(text, 16), (2, 1));
+        assert_eq!(line_col(text, 25), (2, 10));
+        // past the end: one past the last character
+        assert_eq!(line_col(text, 1000), (2, 16));
+        // columns count characters, not bytes
+        assert_eq!(line_col("é x", 3), (1, 3));
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let query = "AGGREGATE sum(function) GROUP BY function";
+        let d = Diagnostic::error("E003", Some(Span::new(10, 23)), "not numeric");
+        let rendered = d.render("query", query);
+        assert_eq!(
+            rendered,
+            "query:1:11: error[E003]: not numeric\n  \
+             AGGREGATE sum(function) GROUP BY function\n  \
+             \u{20}         ^^^^^^^^^^^^^\n"
+        );
+    }
+
+    #[test]
+    fn render_handles_multiline_queries_and_eof_spans() {
+        let query = "AGGREGATE count\nGROUP BY";
+        let d = Diagnostic::error("E001", Some(Span::point(24)), "expected attribute label");
+        let rendered = d.render("q", query);
+        assert!(rendered.starts_with("q:2:9: error[E001]:"), "{rendered}");
+        assert!(rendered.contains("GROUP BY\n"), "{rendered}");
+        // a zero-width span still gets one caret
+        assert!(rendered.contains("^"), "{rendered}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_locates() {
+        let d = Diagnostic::warning("W004", Some(Span::new(0, 1)), "a \"quoted\" message")
+            .with_help("try x");
+        let json = d.render_json("x = 1");
+        assert!(json.contains("\"code\":\"W004\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"line\":1,\"col\":1"), "{json}");
+        assert!(json.contains("\"help\":\"try x\""), "{json}");
+        caliper_format::json::parse_json(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn sort_is_deterministic_and_span_major() {
+        let mut diags = vec![
+            Diagnostic::warning("W001", None, "spanless"),
+            Diagnostic::error("E005", Some(Span::new(9, 12)), "b"),
+            Diagnostic::error("E002", Some(Span::new(9, 12)), "a"),
+            Diagnostic::error("E002", Some(Span::new(3, 4)), "c"),
+        ];
+        Diagnostic::sort(&mut diags);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["E002", "E002", "E005", "W001"]);
+        assert_eq!(diags[0].message, "c");
+    }
+
+    #[test]
+    fn suggestions_prefer_close_names() {
+        let cands = ["function", "loop.iteration", "time.duration"];
+        assert_eq!(suggest("time.duraton", cands), Some("time.duration"));
+        assert_eq!(suggest("functon", cands), Some("function"));
+        assert_eq!(suggest("zzz", cands), None);
+        // exact matches are not suggestions
+        assert_eq!(suggest("function", cands), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+    }
+}

@@ -165,16 +165,23 @@ impl fmt::Display for QuerySpec {
             clauses.push(format!("LIMIT {limit}"));
         }
 
-        if self.format != OutputFormat::default() {
-            let name = match self.format {
-                OutputFormat::Table => "table",
-                OutputFormat::Csv => "csv",
-                OutputFormat::Json => "json",
-                OutputFormat::Expand => "expand",
-                OutputFormat::Cali => "cali",
-                OutputFormat::Flamegraph => "flamegraph",
-            };
-            clauses.push(format!("FORMAT {name}"));
+        if self.format != OutputFormat::default() || !self.format_opts.is_empty() {
+            let mut s = format!("FORMAT {}", self.format.name());
+            if !self.format_opts.is_empty() {
+                s.push('(');
+                for (i, opt) in self.format_opts.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&quote_label(&opt.name));
+                    if let Some(value) = &opt.value {
+                        s.push_str(" = ");
+                        s.push_str(&render_value(value));
+                    }
+                }
+                s.push(')');
+            }
+            clauses.push(s);
         }
 
         // A completely empty spec still needs to round-trip: SELECT *.
@@ -234,6 +241,8 @@ mod tests {
         roundtrip("SELECT *");
         roundtrip("GROUP BY \"weird label\"");
         roundtrip("AGGREGATE count GROUP BY k ORDER BY count desc LIMIT 10");
+        roundtrip("AGGREGATE count GROUP BY k FORMAT csv(noheader)");
+        roundtrip("SELECT * FORMAT json(pretty, indent = 2)");
     }
 
     #[test]

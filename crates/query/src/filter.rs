@@ -2,15 +2,38 @@
 
 use std::sync::Arc;
 
-use caliper_data::{Attribute, AttributeStore, FlatRecord};
+use caliper_data::metrics::Counter;
+use caliper_data::{Attribute, AttributeStore, FlatRecord, Value, ValueType};
 
 use crate::ast::{CmpOp, Filter};
+
+/// Can a comparison between a value of type `lhs` and one of type `rhs`
+/// ever be non-constant?
+///
+/// [`Value`]'s equality is class-strict — `Int(2) != Float(2.0)` — with
+/// one deliberate exception (`Int`/`UInt` compare numerically), and its
+/// total order groups numbers before strings. So `=`/`!=` between
+/// different classes (other than the `Int`/`UInt` pair) and ordering
+/// comparisons between a string and a number always produce the same
+/// answer, whatever the data says. The sema pass reports such filters
+/// at check time (`W004`); [`FilterSet::matches`] counts them at run
+/// time in the `query.filter.type_mismatch` metric.
+pub fn cmp_types_compatible(op: CmpOp, lhs: ValueType, rhs: ValueType) -> bool {
+    let int_like = |t: ValueType| matches!(t, ValueType::Int | ValueType::UInt);
+    match op {
+        CmpOp::Eq | CmpOp::Ne => lhs == rhs || (int_like(lhs) && int_like(rhs)),
+        // Ordering: strings only order against strings; everything else
+        // (numbers, bools) orders numerically.
+        _ => (lhs == ValueType::Str) == (rhs == ValueType::Str),
+    }
+}
 
 /// Compiled filter bound to an attribute store. Attribute lookups are
 /// cached; labels that do not resolve (yet) behave as "attribute absent".
 pub struct FilterSet {
     filters: Vec<(Filter, std::cell::RefCell<Option<Attribute>>)>,
     store: Arc<AttributeStore>,
+    type_mismatches: Counter,
 }
 
 impl FilterSet {
@@ -22,6 +45,8 @@ impl FilterSet {
                 .map(|f| (f, std::cell::RefCell::new(None)))
                 .collect(),
             store,
+            type_mismatches: caliper_data::metrics::global()
+                .counter("query.filter.type_mismatch"),
         }
     }
 
@@ -55,6 +80,7 @@ impl FilterSet {
                     if !record.contains(attr.id()) {
                         return false;
                     }
+                    self.count_mismatches(&attr, *op, value, record);
                     match op {
                         // != : no occurrence equals the literal
                         CmpOp::Ne => record.all(attr.id()).all(|v| v != value),
@@ -65,6 +91,20 @@ impl FilterSet {
                 None => false,
             },
         })
+    }
+
+    /// Count occurrences whose value class can never satisfy (or fail)
+    /// the comparison against the literal — the silent type-coercion
+    /// drop this metric makes visible.
+    fn count_mismatches(&self, attr: &Attribute, op: CmpOp, value: &Value, record: &FlatRecord) {
+        let literal_type = value.value_type();
+        let mismatched = record
+            .all(attr.id())
+            .filter(|v| !cmp_types_compatible(op, v.value_type(), literal_type))
+            .count();
+        if mismatched > 0 {
+            self.type_mismatches.add(mismatched as u64);
+        }
     }
 }
 
@@ -160,6 +200,46 @@ mod tests {
         ];
         assert!(eval(both.clone(), &store, &recs[0]));
         assert!(!eval(both, &store, &recs[1]));
+    }
+
+    #[test]
+    fn type_compatibility_rules() {
+        use ValueType::*;
+        // Equality: class-strict with the Int/UInt exception.
+        assert!(cmp_types_compatible(CmpOp::Eq, Int, Int));
+        assert!(cmp_types_compatible(CmpOp::Eq, Int, UInt));
+        assert!(!cmp_types_compatible(CmpOp::Eq, Float, Int));
+        assert!(!cmp_types_compatible(CmpOp::Ne, Str, Int));
+        assert!(!cmp_types_compatible(CmpOp::Eq, Bool, Int));
+        // Ordering: strings only against strings.
+        assert!(cmp_types_compatible(CmpOp::Lt, Float, Int));
+        assert!(cmp_types_compatible(CmpOp::Ge, Str, Str));
+        assert!(!cmp_types_compatible(CmpOp::Gt, Str, Float));
+        assert!(!cmp_types_compatible(CmpOp::Le, Int, Str));
+    }
+
+    #[test]
+    fn mismatched_comparisons_bump_metric() {
+        let (store, recs) = store_and_records();
+        let counter = caliper_data::metrics::global().counter("query.filter.type_mismatch");
+        let before = counter.get();
+        // Float attribute compared against an Int literal: the classic
+        // never-matches footgun.
+        let f = vec![Filter::Cmp {
+            attr: "time.duration".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(5),
+        }];
+        assert!(!eval(f, &store, &recs[0]));
+        assert_eq!(counter.get(), before + 1);
+        // A compatible comparison leaves the counter alone.
+        let ok = vec![Filter::Cmp {
+            attr: "time.duration".into(),
+            op: CmpOp::Gt,
+            value: Value::Int(1),
+        }];
+        assert!(eval(ok, &store, &recs[0]));
+        assert_eq!(counter.get(), before + 1);
     }
 
     #[test]

@@ -9,13 +9,16 @@
 
 use std::fmt;
 
-/// A token with its byte offset in the query text (for error messages).
+/// A token with its byte span in the query text (for error messages
+/// and semantic diagnostics).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
     /// Byte offset of the first character.
     pub pos: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
 }
 
 /// Token kinds.
@@ -74,6 +77,8 @@ impl fmt::Display for TokenKind {
 pub struct LexError {
     /// Byte offset of the problem.
     pub pos: usize,
+    /// Byte offset one past the offending text.
+    pub end: usize,
     /// Description.
     pub message: String,
 }
@@ -94,10 +99,15 @@ fn is_ident_continue(ch: char) -> bool {
     ch.is_alphanumeric() || matches!(ch, '_' | '.' | '#' | ':' | '-' | '/')
 }
 
-/// Tokenize a query string.
+/// Tokenize a query string. Every token carries its precise byte span
+/// (`pos..end`), which the parser threads through to diagnostics.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
     let bytes: Vec<(usize, char)> = input.char_indices().collect();
+    // Byte offset of the i-th character (input length at end of text):
+    // after a branch advances `i` past a token's characters, `off(i)` is
+    // the token's end offset.
+    let off = |i: usize| bytes.get(i).map(|&(p, _)| p).unwrap_or(input.len());
     let mut i = 0;
     while i < bytes.len() {
         let (pos, ch) = bytes[i];
@@ -106,20 +116,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             // Line continuation and stray backslashes are whitespace.
             '\\' => i += 1,
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos });
                 i += 1;
+                tokens.push(Token { kind: TokenKind::LParen, pos, end: off(i) });
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos });
                 i += 1;
+                tokens.push(Token { kind: TokenKind::RParen, pos, end: off(i) });
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos });
                 i += 1;
+                tokens.push(Token { kind: TokenKind::Comma, pos, end: off(i) });
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos });
                 i += 1;
+                tokens.push(Token { kind: TokenKind::Star, pos, end: off(i) });
             }
             '=' => {
                 // Accept both `=` and `==`.
@@ -127,16 +137,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 if i < bytes.len() && bytes[i].1 == '=' {
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Eq, pos });
+                tokens.push(Token { kind: TokenKind::Eq, pos, end: off(i) });
             }
             '!' => {
                 i += 1;
                 if i < bytes.len() && bytes[i].1 == '=' {
                     i += 1;
-                    tokens.push(Token { kind: TokenKind::Ne, pos });
+                    tokens.push(Token { kind: TokenKind::Ne, pos, end: off(i) });
                 } else {
                     return Err(LexError {
                         pos,
+                        end: off(i),
                         message: "expected '=' after '!'".into(),
                     });
                 }
@@ -145,18 +156,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
                 if i < bytes.len() && bytes[i].1 == '=' {
                     i += 1;
-                    tokens.push(Token { kind: TokenKind::Le, pos });
+                    tokens.push(Token { kind: TokenKind::Le, pos, end: off(i) });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, pos });
+                    tokens.push(Token { kind: TokenKind::Lt, pos, end: off(i) });
                 }
             }
             '>' => {
                 i += 1;
                 if i < bytes.len() && bytes[i].1 == '=' {
                     i += 1;
-                    tokens.push(Token { kind: TokenKind::Ge, pos });
+                    tokens.push(Token { kind: TokenKind::Ge, pos, end: off(i) });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, pos });
+                    tokens.push(Token { kind: TokenKind::Gt, pos, end: off(i) });
                 }
             }
             quote @ ('"' | '\'') => {
@@ -181,10 +192,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 if !closed {
                     return Err(LexError {
                         pos,
+                        end: input.len(),
                         message: "unterminated string literal".into(),
                     });
                 }
-                tokens.push(Token { kind: TokenKind::Str(text), pos });
+                tokens.push(Token { kind: TokenKind::Str(text), pos, end: off(i) });
             }
             c if c.is_ascii_digit()
                 || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].1.is_ascii_digit()) =>
@@ -226,6 +238,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::Number(text),
                     pos,
+                    end: off(i),
                 });
             }
             c if is_ident_start(c) => {
@@ -239,11 +252,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::Ident(text),
                     pos,
+                    end: off(i),
                 });
             }
             other => {
                 return Err(LexError {
                     pos,
+                    end: pos + other.len_utf8(),
                     message: format!("unexpected character '{other}'"),
                 })
             }
@@ -364,8 +379,20 @@ mod tests {
     fn errors_carry_positions() {
         let err = tokenize("abc @").unwrap_err();
         assert_eq!(err.pos, 4);
+        assert_eq!(err.end, 5);
         assert!(tokenize("\"unterminated").is_err());
         assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn tokens_carry_byte_spans() {
+        let toks = tokenize("sum(time.duration) >= 2.5").unwrap();
+        let spans: Vec<(usize, usize)> = toks.iter().map(|t| (t.pos, t.end)).collect();
+        assert_eq!(spans, vec![(0, 3), (3, 4), (4, 17), (17, 18), (19, 21), (22, 25)]);
+        // quoted strings span the quotes, multi-byte chars span bytes
+        let toks = tokenize("\"a b\" é").unwrap();
+        assert_eq!((toks[0].pos, toks[0].end), (0, 5));
+        assert_eq!((toks[1].pos, toks[1].end), (6, 8));
     }
 
     #[test]

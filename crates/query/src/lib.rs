@@ -28,9 +28,11 @@
 //! aggregation (partial [`Pipeline`]s are merged up a reduction tree),
 //! and off-line analytical aggregation ([`run_query`] over a dataset).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregator;
+pub mod diag;
 pub mod display;
 pub mod ast;
 pub mod filter;
@@ -40,14 +42,18 @@ pub mod ops;
 pub mod parallel;
 pub mod parser;
 pub mod query;
+pub mod sema;
 
 pub use aggregator::{AggregationSpec, Aggregator, OVERFLOW_KEY};
 pub use ast::{
-    AggOp, CmpOp, Filter, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir, SortKey,
+    AggOp, CmpOp, Filter, FormatOpt, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir,
+    SortKey,
 };
+pub use diag::{Diagnostic, Severity, Span};
 pub use ops::Reducer;
 pub use parallel::{
     parallel_query_files, ParallelOptions, ParallelQueryError, ShardTimings, WorkerTimings,
 };
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_query, parse_query_spanned, ParseError, SpanMap};
 pub use query::{run_query, Pipeline, QueryResult};
+pub use sema::analyze;

@@ -5,15 +5,20 @@ use std::fmt;
 use caliper_data::Value;
 
 use crate::ast::{
-    AggOp, CmpOp, Filter, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir, SortKey,
+    AggOp, CmpOp, Filter, FormatOpt, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir,
+    SortKey,
 };
+use crate::diag::Span;
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
 
-/// Parse error with byte position.
+/// Parse error with a byte span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// Byte offset in the query text (or text length at end of input).
     pub pos: usize,
+    /// Byte offset one past the offending token (== `pos` at end of
+    /// input).
+    pub end: usize,
     /// Description of the problem.
     pub message: String,
 }
@@ -30,15 +35,44 @@ impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
         ParseError {
             pos: e.pos,
+            end: e.end,
             message: e.message,
         }
     }
+}
+
+/// Byte spans for the elements of a parsed [`QuerySpec`], kept in a
+/// side table (parallel vectors) so the AST itself stays comparable by
+/// value — the render/parse round-trip property compares specs with
+/// `==`, and two specs with different formatting must stay equal.
+///
+/// Each vector parallels the same-named `QuerySpec` field; `ops` also
+/// covers operators added through `SELECT sum(x)` sugar.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanMap {
+    /// Spans of `spec.ops` entries.
+    pub ops: Vec<Span>,
+    /// Spans of `spec.key` entries.
+    pub keys: Vec<Span>,
+    /// Spans of `spec.filters` entries.
+    pub filters: Vec<Span>,
+    /// Spans of `spec.lets` entries (the whole binding).
+    pub lets: Vec<Span>,
+    /// Spans of `spec.select` entries (empty for `SELECT *`).
+    pub select: Vec<Span>,
+    /// Spans of `spec.order_by` entries.
+    pub order_by: Vec<Span>,
+    /// Span of the FORMAT name, if a FORMAT clause appeared.
+    pub format: Option<Span>,
+    /// Spans of `spec.format_opts` entries.
+    pub format_opts: Vec<Span>,
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     end: usize,
+    spans: SpanMap,
 }
 
 impl Parser {
@@ -54,9 +88,29 @@ impl Parser {
         self.tokens.get(self.pos).map(|t| t.pos).unwrap_or(self.end)
     }
 
+    /// End offset of the current token (or end of input).
+    fn here_end(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.end).unwrap_or(self.end)
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.pos > 0 {
+            self.tokens[self.pos - 1].end
+        } else {
+            self.here()
+        }
+    }
+
+    /// Span from `start` through the most recently consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.prev_end())
+    }
+
     fn error(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             pos: self.here(),
+            end: self.here_end(),
             message: message.into(),
         }
     }
@@ -158,6 +212,7 @@ impl Parser {
 
     fn parse_agg_list(&mut self, spec: &mut QuerySpec) -> Result<(), ParseError> {
         loop {
+            let start = self.here();
             let name = self.label()?;
             let kind = OpKind::from_name(&name)
                 .ok_or_else(|| self.error(format!("unknown aggregation operator '{name}'")))?;
@@ -192,6 +247,7 @@ impl Parser {
             if self.eat_keyword("as") {
                 op.alias = Some(self.label()?);
             }
+            self.spans.ops.push(self.span_from(start));
             spec.ops.push(op);
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -202,7 +258,9 @@ impl Parser {
 
     fn parse_group_by(&mut self, spec: &mut QuerySpec) -> Result<(), ParseError> {
         loop {
+            let start = self.here();
             spec.key.push(self.label()?);
+            self.spans.keys.push(self.span_from(start));
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -212,6 +270,7 @@ impl Parser {
 
     fn parse_where(&mut self, spec: &mut QuerySpec) -> Result<(), ParseError> {
         loop {
+            let start = self.here();
             let filter = if self.at_keyword("not") && self.peek2() == Some(&TokenKind::LParen) {
                 self.pos += 2;
                 let label = self.label()?;
@@ -241,6 +300,7 @@ impl Parser {
                     None => Filter::Exists(label),
                 }
             };
+            self.spans.filters.push(self.span_from(start));
             spec.filters.push(filter);
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -256,6 +316,7 @@ impl Parser {
         }
         let mut cols = Vec::new();
         loop {
+            let start = self.here();
             // Allow `select sum(time.duration)` as sugar: it both adds the
             // aggregation op and selects its result column.
             if let Some(TokenKind::Ident(name)) = self.peek() {
@@ -269,7 +330,9 @@ impl Parser {
                         if self.parse_agg_item(&mut sub).is_ok() {
                             let op = sub.ops.pop().expect("one op parsed");
                             cols.push(op.result_label("count"));
+                            self.spans.select.push(self.span_from(start));
                             if !spec.ops.contains(&op) {
+                                self.spans.ops.push(self.span_from(start));
                                 spec.ops.push(op);
                             }
                             if !self.eat(&TokenKind::Comma) {
@@ -282,6 +345,7 @@ impl Parser {
                 }
             }
             cols.push(self.label()?);
+            self.spans.select.push(self.span_from(start));
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -322,6 +386,7 @@ impl Parser {
 
     fn parse_order_by(&mut self, spec: &mut QuerySpec) -> Result<(), ParseError> {
         loop {
+            let start = self.here();
             let attr = self.label()?;
             let dir = if self.eat_keyword("desc") {
                 SortDir::Desc
@@ -329,6 +394,7 @@ impl Parser {
                 self.eat_keyword("asc");
                 SortDir::Asc
             };
+            self.spans.order_by.push(self.span_from(start));
             spec.order_by.push(SortKey { attr, dir });
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -339,6 +405,7 @@ impl Parser {
 
     fn parse_let(&mut self, spec: &mut QuerySpec) -> Result<(), ParseError> {
         loop {
+            let start = self.here();
             let name = self.label()?;
             self.expect(&TokenKind::Eq)?;
             let func = self.label()?;
@@ -383,10 +450,41 @@ impl Parser {
                 }
             };
             self.expect(&TokenKind::RParen)?;
+            self.spans.lets.push(self.span_from(start));
             spec.lets.push(LetDef { name, expr });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
+        }
+        Ok(())
+    }
+
+    /// Parse `FORMAT name` with optional `(opt, opt=value, ...)`.
+    fn parse_format(&mut self, spec: &mut QuerySpec) -> Result<(), ParseError> {
+        let start = self.here();
+        let name = self.label()?;
+        spec.format = OutputFormat::from_name(&name)
+            .ok_or_else(|| self.error(format!("unknown format '{name}'")))?;
+        self.spans.format = Some(self.span_from(start));
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                let opt_start = self.here();
+                let opt_name = self.label()?;
+                let value = if self.eat(&TokenKind::Eq) {
+                    Some(self.literal()?)
+                } else {
+                    None
+                };
+                self.spans.format_opts.push(self.span_from(opt_start));
+                spec.format_opts.push(FormatOpt {
+                    name: opt_name,
+                    value,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
         }
         Ok(())
     }
@@ -422,9 +520,7 @@ impl Parser {
                     _ => return Err(self.error("LIMIT requires a number")),
                 }
             } else if self.eat_keyword("format") {
-                let name = self.label()?;
-                spec.format = OutputFormat::from_name(&name)
-                    .ok_or_else(|| self.error(format!("unknown format '{name}'")))?;
+                self.parse_format(&mut spec)?;
             } else {
                 return Err(self.error("expected a clause (AGGREGATE, GROUP BY, WHERE, SELECT, ORDER BY, LET, LIMIT, FORMAT)"));
             }
@@ -441,13 +537,21 @@ impl Parser {
 
 /// Parse a query text into a [`QuerySpec`].
 pub fn parse_query(input: &str) -> Result<QuerySpec, ParseError> {
+    parse_query_spanned(input).map(|(spec, _)| spec)
+}
+
+/// Parse a query text into a [`QuerySpec`] plus a [`SpanMap`] giving
+/// the byte span of each spec element, for diagnostics.
+pub fn parse_query_spanned(input: &str) -> Result<(QuerySpec, SpanMap), ParseError> {
     let tokens = tokenize(input)?;
     let mut parser = Parser {
         tokens,
         pos: 0,
         end: input.len(),
+        spans: SpanMap::default(),
     };
-    parser.parse_query()
+    let spec = parser.parse_query()?;
+    Ok((spec, parser.spans))
 }
 
 #[cfg(test)]
@@ -591,6 +695,56 @@ mod tests {
     fn errors_carry_position() {
         let err = parse_query("AGGREGATE count GROUP BY").unwrap_err();
         assert!(err.pos >= 24);
+        assert!(err.end >= err.pos);
+    }
+
+    #[test]
+    fn spans_cover_spec_elements() {
+        let text = "AGGREGATE count, sum(time) GROUP BY function WHERE mpi.rank=0";
+        let (spec, spans) = parse_query_spanned(text).unwrap();
+        assert_eq!(spans.ops.len(), spec.ops.len());
+        assert_eq!(spans.keys.len(), spec.key.len());
+        assert_eq!(spans.filters.len(), spec.filters.len());
+        assert_eq!(&text[spans.ops[0].start..spans.ops[0].end], "count");
+        assert_eq!(&text[spans.ops[1].start..spans.ops[1].end], "sum(time)");
+        assert_eq!(&text[spans.keys[0].start..spans.keys[0].end], "function");
+        assert_eq!(
+            &text[spans.filters[0].start..spans.filters[0].end],
+            "mpi.rank=0"
+        );
+    }
+
+    #[test]
+    fn select_sugar_records_op_span_once() {
+        let text = "SELECT kernel, sum(time.duration) GROUP BY kernel";
+        let (spec, spans) = parse_query_spanned(text).unwrap();
+        assert_eq!(spec.ops.len(), 1);
+        assert_eq!(spans.ops.len(), 1);
+        assert_eq!(spans.select.len(), 2);
+        assert_eq!(
+            &text[spans.ops[0].start..spans.ops[0].end],
+            "sum(time.duration)"
+        );
+    }
+
+    #[test]
+    fn parses_format_options() {
+        let spec = parse_query("AGGREGATE count GROUP BY k FORMAT csv(noheader)").unwrap();
+        assert_eq!(spec.format, OutputFormat::Csv);
+        assert_eq!(spec.format_opts.len(), 1);
+        assert_eq!(spec.format_opts[0].name, "noheader");
+        assert_eq!(spec.format_opts[0].value, None);
+
+        let spec = parse_query("SELECT * FORMAT json(pretty, indent=2)").unwrap();
+        assert_eq!(spec.format_opts.len(), 2);
+        assert_eq!(spec.format_opts[1].name, "indent");
+        assert_eq!(spec.format_opts[1].value, Some(Value::Int(2)));
+
+        // Empty parens are tolerated.
+        let spec = parse_query("SELECT * FORMAT json()").unwrap();
+        assert!(spec.format_opts.is_empty());
+
+        assert!(parse_query("SELECT * FORMAT json(pretty").is_err());
     }
 
     #[test]

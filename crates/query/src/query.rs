@@ -15,7 +15,7 @@ use caliper_format::dataset::Dataset;
 use caliper_format::{csv, expand, json, table};
 
 use crate::aggregator::{AggregationSpec, Aggregator};
-use crate::ast::{OutputFormat, QuerySpec, SortDir};
+use crate::ast::{FormatOpt, OutputFormat, QuerySpec, SortDir};
 use crate::filter::FilterSet;
 use crate::lets::LetSet;
 use crate::parser::{parse_query, ParseError};
@@ -30,6 +30,8 @@ pub struct QueryResult {
     pub columns: Vec<Attribute>,
     /// Requested output format.
     pub format: OutputFormat,
+    /// Formatter options from `FORMAT name(opt, ...)`.
+    pub format_opts: Vec<FormatOpt>,
     /// Input records that landed in the `__overflow__` bucket because
     /// the aggregation hit its group capacity (0 = no overflow; always
     /// 0 for unbounded or pass-through queries).
@@ -42,12 +44,25 @@ impl QueryResult {
         table::records_to_table(&self.columns, &self.records)
     }
 
+    /// Is a flag-style formatter option present (case-insensitive)?
+    fn has_opt(&self, name: &str) -> bool {
+        self.format_opts
+            .iter()
+            .any(|o| o.name.eq_ignore_ascii_case(name))
+    }
+
     /// Render in the query's requested output format.
     pub fn render(&self) -> String {
         match self.format {
-            OutputFormat::Table => self.to_table().render(),
-            OutputFormat::Csv => csv::records_to_csv(&self.columns, &self.records),
-            OutputFormat::Json => json::records_to_json(&self.store, &self.records),
+            OutputFormat::Table => self.to_table().render_opts(!self.has_opt("noheader")),
+            OutputFormat::Csv => csv::records_to_csv_opts(
+                &self.columns,
+                &self.records,
+                !self.has_opt("noheader"),
+            ),
+            OutputFormat::Json => {
+                json::records_to_json_opts(&self.store, &self.records, self.has_opt("pretty"))
+            }
             OutputFormat::Expand => expand::expand_records(&self.store, &self.records),
             OutputFormat::Flamegraph => {
                 // Last selected column is the value; the preceding
@@ -336,6 +351,7 @@ impl Pipeline {
             records,
             columns,
             format: self.spec.format,
+            format_opts: self.spec.format_opts,
             overflow_records,
         }
     }
@@ -471,6 +487,25 @@ mod tests {
             let out = result.render();
             assert!(out.contains(probe), "format {fmt}: {out}");
         }
+    }
+
+    #[test]
+    fn format_options_change_rendering() {
+        let ds = sample_dataset();
+        let with_header = run_query(&ds, "AGGREGATE count GROUP BY function FORMAT csv")
+            .unwrap()
+            .render();
+        let without = run_query(&ds, "AGGREGATE count GROUP BY function FORMAT csv(noheader)")
+            .unwrap()
+            .render();
+        assert!(with_header.starts_with("function,count"));
+        assert!(!without.contains("function,count"));
+        assert_eq!(with_header.lines().count(), without.lines().count() + 1);
+
+        let pretty = run_query(&ds, "AGGREGATE count GROUP BY function FORMAT json(pretty)")
+            .unwrap()
+            .render();
+        assert!(pretty.contains("  \"function\""), "{pretty}");
     }
 
     #[test]

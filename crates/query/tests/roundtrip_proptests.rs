@@ -11,7 +11,8 @@
 use caliper_data::Value;
 use caliper_query::parse_query;
 use caliper_query::{
-    AggOp, CmpOp, Filter, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir, SortKey,
+    AggOp, CmpOp, Filter, FormatOpt, LetDef, LetExpr, OpKind, OutputFormat, QuerySpec, SortDir,
+    SortKey,
 };
 use proptest::prelude::*;
 
@@ -140,6 +141,15 @@ fn output_format() -> impl Strategy<Value = OutputFormat> {
     ]
 }
 
+/// Formatter options: bare flags and `opt=value` pairs, with hostile
+/// names and every literal flavor as the value.
+fn format_opt() -> impl Strategy<Value = FormatOpt> {
+    (label(), 0u8..2, literal_value()).prop_map(|(name, has_value, value)| FormatOpt {
+        name,
+        value: (has_value == 0).then_some(value),
+    })
+}
+
 fn query_spec() -> impl Strategy<Value = QuerySpec> {
     (
         (
@@ -153,10 +163,10 @@ fn query_spec() -> impl Strategy<Value = QuerySpec> {
         ),
         (0u8..2, prop::collection::vec(label(), 1..3)),
         (0u8..2, 0usize..1000),
-        output_format(),
+        (output_format(), prop::collection::vec(format_opt(), 0..3)),
     )
         .prop_map(
-            |((ops, key, filters), (lets, order_by), (has_select, select), (has_limit, limit), format)| {
+            |((ops, key, filters), (lets, order_by), (has_select, select), (has_limit, limit), (format, format_opts))| {
                 QuerySpec {
                     ops,
                     key,
@@ -166,6 +176,7 @@ fn query_spec() -> impl Strategy<Value = QuerySpec> {
                     order_by,
                     limit: (has_limit == 0).then_some(limit),
                     format,
+                    format_opts,
                 }
             },
         )

@@ -45,6 +45,7 @@
 //! assert!(result.render().contains("foo"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod annotation;

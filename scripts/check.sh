@@ -10,6 +10,45 @@ cargo test -q
 cargo clippy --workspace --all-targets -q -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# Unsafe-code gate: every crate root (workspace and vendored shims)
+# must carry #![forbid(unsafe_code)], and no source line may use
+# `unsafe` at all — the attribute makes the compiler enforce it, the
+# grep catches a root file losing the attribute.
+for f in src/lib.rs crates/*/src/lib.rs vendor/*/src/lib.rs; do
+    grep -q '#!\[forbid(unsafe_code)\]' "$f" || {
+        echo "check.sh: $f is missing #![forbid(unsafe_code)]" >&2
+        exit 1
+    }
+done
+if grep -rn --include='*.rs' 'unsafe' src crates vendor | grep -v 'forbid(unsafe_code)'; then
+    echo "check.sh: unsafe code found (listed above)" >&2
+    exit 1
+fi
+
+# Static-analysis gate: every golden check fixture must produce its
+# pinned diagnostics (asserted byte-for-byte by the check_golden test
+# in `cargo test` above); here, re-assert the exit-code contract over
+# the fixtures with the release binary, and lint every doc-embedded
+# query.
+lint_query=./target/release/cali-query
+golden=crates/cli/tests/golden
+for fixture in "$golden"/checks/*.calql; do
+    q=$(grep -v '^#' "$fixture" | tr '\n' ' ')
+    rc=0
+    "$lint_query" -q "$q" --check "$golden"/data/rank0.cali "$golden"/data/rank1.cali \
+        >/dev/null 2>&1 || rc=$?
+    case "$fixture" in
+        */clean.calql) want=0 ;;
+        */unused-let.calql|*/self-referential-let.calql|*/where-type-mismatch.calql) want=2 ;;
+        *) want=1 ;;
+    esac
+    if [ "$rc" -ne "$want" ]; then
+        echo "check.sh: --check on $fixture exited $rc, expected $want" >&2
+        exit 1
+    fi
+done
+scripts/lint_doc_queries.sh "$lint_query"
+
 # Failure-injection smoke: a corrupt corpus must be salvageable with
 # --lenient (and fatal without), and a killed rank must leave fig4's
 # resilient reduction with an honest coverage report (asserted inside

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Lint every documentation-embedded CalQL query: extract ```calql
+# fenced blocks from the docs (each block is one query; lines are
+# joined), run `cali-query --check` over each, and fail on any
+# diagnostic. Runs schema-less — doc examples reference hypothetical
+# application attributes — so structural checks apply but unknown-name
+# checks are skipped.
+#
+# Usage: scripts/lint_doc_queries.sh [path/to/cali-query]
+set -eu
+cd "$(dirname "$0")/.."
+
+query_bin="${1:-./target/release/cali-query}"
+if [ ! -x "$query_bin" ]; then
+    echo "lint_doc_queries.sh: $query_bin not built (cargo build --release -p cali-cli)" >&2
+    exit 1
+fi
+
+status=0
+checked=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    # Emit "<file>:<line>:<joined query>" for each ```calql block.
+    extracted=$(awk -v file="$doc" '
+        /^```calql[ \t]*$/ { collecting = 1; start = NR + 1; q = ""; next }
+        /^```[ \t]*$/ && collecting {
+            collecting = 0
+            if (q != "") printf "%s:%d:%s\n", file, start, q
+            next
+        }
+        collecting { gsub(/\r/, ""); q = (q == "" ? $0 : q " " $0) }
+    ' "$doc")
+    [ -n "$extracted" ] || continue
+    while IFS= read -r entry; do
+        src=${entry%%:*}
+        rest=${entry#*:}
+        line=${rest%%:*}
+        q=${rest#*:}
+        checked=$((checked + 1))
+        if ! out=$("$query_bin" -q "$q" --check 2>/dev/null); then
+            echo "lint_doc_queries.sh: $src:$line: query fails --check:" >&2
+            printf '%s\n' "$out" >&2
+            status=1
+        elif [ -n "$out" ]; then
+            # Warnings exit 2 (caught above); anything printed on a
+            # zero exit would be new behavior worth failing loudly on.
+            echo "lint_doc_queries.sh: $src:$line: unexpected output:" >&2
+            printf '%s\n' "$out" >&2
+            status=1
+        fi
+    done <<EOF
+$extracted
+EOF
+done
+
+if [ "$checked" -eq 0 ]; then
+    echo "lint_doc_queries.sh: no \`\`\`calql blocks found — extraction broken?" >&2
+    exit 1
+fi
+echo "lint_doc_queries.sh: $checked doc queries checked"
+exit "$status"

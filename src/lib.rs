@@ -58,6 +58,8 @@
 //! assert_eq!(result.records.len(), 8); // 2 functions x 4 iterations
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use caliper_data as data;
 pub use caliper_format as format;
 pub use caliper_query as query;

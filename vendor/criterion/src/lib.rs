@@ -23,6 +23,7 @@
 //! `cargo bench -- <substr>`) restricts which benchmarks run, matching
 //! by substring on the full `group/function` id.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

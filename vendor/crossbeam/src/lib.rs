@@ -14,6 +14,7 @@
 //! databases; channels only carry file-sized work units and final
 //! results).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;

@@ -14,6 +14,7 @@
 //!   threads (parking_lot has no poisoning; we recover the inner guard);
 //! * `new` is `const`, so locks can sit in statics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::{self, TryLockError};

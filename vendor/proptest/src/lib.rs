@@ -20,6 +20,7 @@
 //! deterministically from the test name, so a failing case reproduces on
 //! every run and on every machine).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arbitrary;
