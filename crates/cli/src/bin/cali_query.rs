@@ -8,11 +8,13 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use cali_cli::{lint, parse_args, query_files_streaming_with, read_files_reported};
-use caliper_format::{ReadPolicy, ReadReport};
+use std::sync::Arc;
+
+use cali_cli::{lint, parse_args, query_files_streaming_opts, read_files_reported};
+use caliper_format::{Pushdown, ReadPolicy, ReadReport};
 use caliper_query::{
-    analyze, parallel_query_files, parse_query_spanned, ParallelOptions, ParallelQueryError,
-    QueryResult, ShardTimings, OVERFLOW_KEY,
+    analyze, build_pushdown, parallel_query_files, parse_query_spanned, ParallelOptions,
+    ParallelQueryError, QueryResult, ShardTimings, OVERFLOW_KEY,
 };
 
 const USAGE: &str = "usage: cali-query [-q QUERY] [-o FILE] [--threads N] INPUT.cali...
@@ -260,15 +262,26 @@ fn main() -> ExitCode {
     // result or the exit code; parse errors are left to the engine's
     // own error path. --no-lint silences it.
     let listing = args.has(&["list-attributes"]) || args.has(&["list-globals"]);
-    if !listing && !args.has(&["no-lint"]) {
-        if let Ok((spec, spans)) = parse_query_spanned(query) {
-            if let Ok(schema) = lint::infer_schema(&args.positional) {
-                for diag in analyze(&spec, Some(&spans), Some(&schema)) {
-                    eprint!("{}", diag.render("<query>", query));
-                }
+    let spanned = if listing { None } else { parse_query_spanned(query).ok() };
+    let schema = if spanned.is_some() {
+        lint::infer_schema(&args.positional).ok()
+    } else {
+        None
+    };
+    if !args.has(&["no-lint"]) {
+        if let (Some((spec, spans)), Some(schema)) = (&spanned, &schema) {
+            for diag in analyze(spec, Some(spans), Some(schema)) {
+                eprint!("{}", diag.render("<query>", query));
             }
         }
     }
+    // Build the zone-map pushdown once — schema-aware when the pre-pass
+    // succeeded — and hand the same instance to the serial and parallel
+    // paths, so `--stats` skip counts match for every --threads N.
+    let pushdown: Option<Arc<Pushdown>> = spanned.as_ref().and_then(|(spec, _)| {
+        let pd = build_pushdown(spec, schema.as_ref());
+        (!pd.is_empty()).then(|| Arc::new(pd))
+    });
 
     let mut partial = false;
     let rendered = if listing {
@@ -292,7 +305,8 @@ fn main() -> ExitCode {
         // need every record in one place and drop to the serial path.
         let options = ParallelOptions::with_threads(threads)
             .with_read_policy(policy)
-            .with_max_groups(max_groups);
+            .with_max_groups(max_groups)
+            .with_pushdown(pushdown.clone());
         match parallel_query_files(query, &args.positional, &options) {
             Ok((result, timings)) => {
                 partial |= report_skipped(&timings.reports);
@@ -303,7 +317,13 @@ fn main() -> ExitCode {
                 result.render()
             }
             Err(ParallelQueryError::NotAnAggregation) => {
-                match query_files_streaming_with(query, &args.positional, policy, max_groups) {
+                match query_files_streaming_opts(
+                    query,
+                    &args.positional,
+                    policy,
+                    max_groups,
+                    pushdown.as_deref(),
+                ) {
                     Ok((result, reports)) => {
                         partial |= report_skipped(&reports);
                         result.render()
@@ -323,7 +343,13 @@ fn main() -> ExitCode {
         // --threads 1: today's serial streaming path, one input file in
         // memory at a time (memory bounded by the largest file).
         let t0 = std::time::Instant::now();
-        match query_files_streaming_with(query, &args.positional, policy, max_groups) {
+        match query_files_streaming_opts(
+            query,
+            &args.positional,
+            policy,
+            max_groups,
+            pushdown.as_deref(),
+        ) {
             Ok((result, reports)) => {
                 partial |= report_skipped(&reports);
                 report_overflow(&result, max_groups);

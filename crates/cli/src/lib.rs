@@ -21,7 +21,7 @@ pub use parallel::{
     parallel_query, parallel_query_resilient, ParallelError, ParallelTimings, ResilientReport,
 };
 
-use caliper_format::{CaliError, Dataset, ReadPolicy, ReadReport};
+use caliper_format::{CaliError, Dataset, Pushdown, ReadPolicy, ReadReport};
 
 /// Read one `.cali` (text) or `CALB` (binary) file into a fresh
 /// dataset, sniffing the flavor from the stream header. Errors name the
@@ -56,6 +56,24 @@ pub fn query_files_streaming_with<P: AsRef<std::path::Path>>(
     policy: ReadPolicy,
     max_groups: Option<usize>,
 ) -> Result<(caliper_query::QueryResult, Vec<ReadReport>), Box<dyn std::error::Error>> {
+    query_files_streaming_opts(query, paths, policy, max_groups, None)
+}
+
+/// [`query_files_streaming_with`] plus an optional zone-map
+/// [`Pushdown`]: on CALB v2 inputs, blocks whose zone maps prove no
+/// record can satisfy the pushed predicates are skipped without
+/// decoding (counted in each [`ReadReport`]'s `blocks_skipped`). Pass
+/// the same instance the parallel engine uses
+/// ([`caliper_query::ParallelOptions::with_pushdown`]) and the result —
+/// and the skip counts — stay byte-identical across `--threads`.
+/// Pass-through queries fall back to [`read_files`] unfiltered.
+pub fn query_files_streaming_opts<P: AsRef<std::path::Path>>(
+    query: &str,
+    paths: &[P],
+    policy: ReadPolicy,
+    max_groups: Option<usize>,
+    pushdown: Option<&Pushdown>,
+) -> Result<(caliper_query::QueryResult, Vec<ReadReport>), Box<dyn std::error::Error>> {
     let spec = caliper_query::parse_query(query)?;
     if !spec.is_aggregation() {
         let (ds, reports) = read_files_reported(paths, policy)?;
@@ -64,7 +82,7 @@ pub fn query_files_streaming_with<P: AsRef<std::path::Path>>(
     let mut reports = Vec::with_capacity(paths.len());
     let mut acc: Option<caliper_query::Pipeline> = None;
     for path in paths {
-        let (ds, report) = caliper_format::read_path_reported(path, policy)?;
+        let (ds, report) = caliper_format::read_path_reported_filtered(path, policy, pushdown)?;
         reports.push(report);
         let mut pipeline =
             caliper_query::Pipeline::new(spec.clone(), std::sync::Arc::clone(&ds.store))

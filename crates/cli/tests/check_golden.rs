@@ -35,6 +35,7 @@ const CASES: &[Case] = &[
     Case { name: "unused-let", exit: 2 },            // W001
     Case { name: "self-referential-let", exit: 2 },  // W002
     Case { name: "where-type-mismatch", exit: 2 },   // W004
+    Case { name: "pushdown-ineligible", exit: 2 },   // W007
     Case { name: "clean", exit: 0 },
 ];
 
@@ -195,7 +196,7 @@ fn cali_lint_checks_query_files() {
     assert!(!stdout.contains("checks/clean.calql"), "{stdout}");
     check_golden("cali-lint-batch", &stdout);
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("in 12 queries"), "{stderr}");
+    assert!(stderr.contains("in 13 queries"), "{stderr}");
 }
 
 /// The advisory lint on a normal run prints findings on stderr but

@@ -249,6 +249,60 @@ fn golden_stats_block_is_stable_across_thread_counts() {
     }
 }
 
+/// CALB v2 predicate pushdown is part of the determinism contract too:
+/// over a block-columnar input, a selective WHERE must produce stdout
+/// byte-identical to the text-encoded inputs, and the `--stats` block —
+/// including a nonzero `format.reader.blocks_skipped` — must be
+/// byte-identical for every `--threads N`.
+#[test]
+fn v2_pushdown_skips_blocks_identically_across_thread_counts() {
+    let inputs = input_files();
+    let (ds, _) = cali_cli::read_files_reported(&inputs, caliper_format::ReadPolicy::Strict)
+        .expect("read golden inputs");
+    let dir = std::env::temp_dir().join(format!("cali-v2-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v2_path = dir.join("golden.calb2");
+    // Tiny blocks so the selective WHERE below has whole blocks to skip.
+    let bytes = caliper_format::to_binary_v2_with(
+        &ds,
+        &caliper_format::V2WriteOptions { block_records: 4, footer: true },
+    );
+    std::fs::write(&v2_path, bytes).unwrap();
+
+    let query = "AGGREGATE count, sum(time.duration) WHERE loop.iteration > 2 \
+                 GROUP BY function ORDER BY function";
+    let text_out = run_cali_query(query, &[], &inputs);
+    assert!(text_out.status.success());
+
+    let run_v2 = |threads: &str| {
+        let out = run_cali_query(
+            query,
+            &["--stats", "--threads", threads],
+            std::slice::from_ref(&v2_path),
+        );
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.stdout, String::from_utf8(out.stderr).unwrap())
+    };
+    let (stdout1, stats1) = run_v2("1");
+    assert_eq!(text_out.stdout, stdout1, "v2 stdout diverged from the text encoding");
+    let skipped = stats1
+        .lines()
+        .find_map(|l| l.strip_prefix("format.reader.blocks_skipped="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("blocks_skipped metric present");
+    assert!(skipped > 0, "selective WHERE should skip blocks:\n{stats1}");
+    for threads in ["2", "4"] {
+        let (stdout_n, stats_n) = run_v2(threads);
+        assert_eq!(stdout1, stdout_n, "--threads {threads} stdout diverged");
+        assert_eq!(stats1, stats_n, "--threads {threads} --stats block diverged");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `--stats=json` must parse with the repo's own JSON reader, contain
 /// the same values as the text form, and keep its keys sorted — the
 /// machine-readable schema smoke test.

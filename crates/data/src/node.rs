@@ -102,20 +102,28 @@ impl ContextTree {
     /// Expand a node into the full `(attr, value)` path from the root to
     /// (and including) the node, in root-first order.
     pub fn path(&self, id: NodeId) -> Vec<(AttrId, Value)> {
+        let mut out = Vec::new();
+        self.path_into(id, &mut out);
+        out
+    }
+
+    /// Append a node's root-first path to `out` without allocating a
+    /// fresh vector — the hot-path variant of [`ContextTree::path`] used
+    /// by batch record expansion. Takes the tree lock once.
+    pub fn path_into(&self, id: NodeId, out: &mut Vec<(AttrId, Value)>) {
         let inner = self.inner.read();
-        let mut rev = Vec::new();
+        let start = out.len();
         let mut cur = id;
         while cur != NODE_NONE {
             match inner.nodes.get(cur as usize) {
                 Some(node) => {
-                    rev.push((node.attr, node.value.clone()));
+                    out.push((node.attr, node.value.clone()));
                     cur = node.parent;
                 }
                 None => break,
             }
         }
-        rev.reverse();
-        rev
+        out[start..].reverse();
     }
 
     /// Walk up from `id` and return the nearest node (including `id`

@@ -74,7 +74,7 @@ impl SnapshotRecord {
         let mut pairs = Vec::with_capacity(self.entries.len() * 2);
         for entry in &self.entries {
             match entry {
-                Entry::Node(id) => pairs.extend(tree.path(*id)),
+                Entry::Node(id) => tree.path_into(*id, &mut pairs),
                 Entry::Imm(attr, value) => pairs.push((*attr, value.clone())),
             }
         }

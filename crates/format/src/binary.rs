@@ -1,24 +1,18 @@
-//! Binary `.cali` stream codec.
+//! Binary `.cali` stream codec (CALB v1, plus the shared primitives
+//! CALB v2 in [`crate::binary_v2`] builds on).
 //!
 //! The text codec in [`crate::cali`] is self-describing and greppable;
 //! this module provides a compact binary variant of the same stream
 //! model (real Caliper's snapshot buffers are binary-encoded for
-//! exactly this reason). Layout:
+//! exactly this reason). In brief: a `"CALB"` magic plus version byte,
+//! then tagged records — attribute and node dictionary entries before
+//! first use, context and globals records carrying the data — with
+//! varint/zigzag integers and type-directed value encoding.
 //!
-//! ```text
-//! magic "CALB" + version u8
-//! records, each: tag u8 + payload
-//!   0x01 attr    varint id, varint len + name bytes, type u8, varint props
-//!   0x02 node    varint id, varint attr, varint parent+1 (0 = root), value
-//!   0x03 ctx     varint nrefs, refs..., varint nimm, (varint attr, value)...
-//!   0x04 globals varint nimm, (varint attr, value)...
-//! ```
-//!
-//! Values are encoded according to the attribute's declared type:
-//! strings as varint length + UTF-8 bytes, ints as zigzag varints,
-//! uints as varints, floats as 8 LE bytes, bools as one byte. Like the
-//! text codec, attribute and node records appear before first use, and
-//! ids are remapped on read so streams can be merged.
+//! The normative byte-level specification of both stream versions
+//! (record layouts, the v2 block/zone-map/footer structures,
+//! versioning and torn-tail recovery rules) lives in **`docs/CALB.md`**;
+//! this doc comment is intentionally only a summary.
 
 use std::io::{self, Write};
 use std::path::Path;
@@ -31,10 +25,11 @@ use caliper_data::{
 use crate::cali::CaliError;
 use crate::dataset::Dataset;
 use crate::policy::{ReadPolicy, ReadReport};
+use crate::pushdown::Pushdown;
 
 /// Stream magic prefix identifying the binary `CALB` flavor.
 pub const MAGIC: &[u8; 4] = b"CALB";
-const VERSION: u8 = 1;
+pub(crate) const VERSION: u8 = 1;
 
 pub(crate) const TAG_ATTR: u8 = 0x01;
 pub(crate) const TAG_NODE: u8 = 0x02;
@@ -43,7 +38,7 @@ pub(crate) const TAG_GLOBALS: u8 = 0x04;
 
 // ---- varint primitives ----
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -55,7 +50,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_zigzag(out: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_zigzag(out: &mut Vec<u8>, v: i64) {
     put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
@@ -119,7 +114,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn put_value(out: &mut Vec<u8>, vtype: ValueType, value: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, vtype: ValueType, value: &Value) {
     match vtype {
         ValueType::Str => {
             let text = value.to_text();
@@ -133,7 +128,7 @@ fn put_value(out: &mut Vec<u8>, vtype: ValueType, value: &Value) {
     }
 }
 
-fn get_value(cursor: &mut Cursor<'_>, vtype: ValueType) -> Result<Value, CaliError> {
+pub(crate) fn get_value(cursor: &mut Cursor<'_>, vtype: ValueType) -> Result<Value, CaliError> {
     Ok(match vtype {
         ValueType::Str => {
             let len = cursor.varint()? as usize;
@@ -152,7 +147,7 @@ fn get_value(cursor: &mut Cursor<'_>, vtype: ValueType) -> Result<Value, CaliErr
     })
 }
 
-fn type_tag(vtype: ValueType) -> u8 {
+pub(crate) fn type_tag(vtype: ValueType) -> u8 {
     match vtype {
         ValueType::Str => 0,
         ValueType::Int => 1,
@@ -177,18 +172,24 @@ pub(crate) fn type_from_tag(tag: u8) -> Option<ValueType> {
 
 /// Streaming binary writer (mirrors [`crate::cali::CaliWriter`]).
 pub struct BinaryWriter {
-    out: Vec<u8>,
+    pub(crate) out: Vec<u8>,
     written_attrs: FxHashSet<AttrId>,
     written_nodes: FxHashSet<NodeId>,
-    dangling_drops: u64,
+    pub(crate) dangling_drops: u64,
 }
 
 impl BinaryWriter {
     /// Create a writer with the stream header emitted.
     pub fn new() -> BinaryWriter {
+        BinaryWriter::with_version(VERSION)
+    }
+
+    /// Create a writer emitting the given stream version byte (the v2
+    /// codec shares the v1 dictionary machinery).
+    pub(crate) fn with_version(version: u8) -> BinaryWriter {
         let mut out = Vec::with_capacity(4096);
         out.extend_from_slice(MAGIC);
-        out.push(VERSION);
+        out.push(version);
         BinaryWriter {
             out,
             written_attrs: FxHashSet::default(),
@@ -204,7 +205,7 @@ impl BinaryWriter {
         self.dangling_drops
     }
 
-    fn ensure_attr(&mut self, ds: &Dataset, id: AttrId) {
+    pub(crate) fn ensure_attr(&mut self, ds: &Dataset, id: AttrId) {
         if self.written_attrs.contains(&id) {
             return;
         }
@@ -221,7 +222,7 @@ impl BinaryWriter {
         put_varint(&mut self.out, attr.properties().bits() as u64);
     }
 
-    fn ensure_node(&mut self, ds: &Dataset, id: NodeId) {
+    pub(crate) fn ensure_node(&mut self, ds: &Dataset, id: NodeId) {
         if id == NODE_NONE || self.written_nodes.contains(&id) {
             return;
         }
@@ -331,20 +332,20 @@ pub fn to_binary(ds: &Dataset) -> Vec<u8> {
 
 /// Per-stream decoder state: the id remapping tables built from the
 /// attr/node records seen so far.
-struct BinaryDecoder {
-    attr_map: FxHashMap<u64, Attribute>,
-    node_map: FxHashMap<u64, NodeId>,
+pub(crate) struct BinaryDecoder {
+    pub(crate) attr_map: FxHashMap<u64, Attribute>,
+    pub(crate) node_map: FxHashMap<u64, NodeId>,
 }
 
 impl BinaryDecoder {
-    fn new() -> BinaryDecoder {
+    pub(crate) fn new() -> BinaryDecoder {
         BinaryDecoder {
             attr_map: FxHashMap::default(),
             node_map: FxHashMap::default(),
         }
     }
 
-    fn lookup_attr(
+    pub(crate) fn lookup_attr(
         &self,
         cursor: &Cursor<'_>,
         id: u64,
@@ -364,7 +365,7 @@ impl BinaryDecoder {
     /// (ctx/globals). The dataset is mutated only once the record has
     /// fully decoded, so an error leaves `ds` at the previous record
     /// boundary.
-    fn read_record(
+    pub(crate) fn read_record(
         &mut self,
         cursor: &mut Cursor<'_>,
         ds: &mut Dataset,
@@ -469,9 +470,25 @@ pub fn read_binary_into(bytes: &[u8], ds: Dataset) -> Result<Dataset, CaliError>
 /// is not a `CALB` stream at all).
 pub fn read_binary_into_with(
     bytes: &[u8],
+    ds: Dataset,
+    policy: ReadPolicy,
+    report: &mut ReadReport,
+) -> Result<Dataset, CaliError> {
+    read_binary_into_filtered(bytes, ds, policy, report, None)
+}
+
+/// Parse a binary stream like [`read_binary_into_with`], additionally
+/// applying a WHERE-predicate [`Pushdown`] where the encoding supports
+/// it. CALB v2 streams evaluate the predicates against per-block zone
+/// maps and skip blocks that provably contain no matching record
+/// (accounted in [`ReadReport::blocks_skipped`]); v1 streams have no
+/// block structure and ignore the pushdown entirely.
+pub fn read_binary_into_filtered(
+    bytes: &[u8],
     mut ds: Dataset,
     policy: ReadPolicy,
     report: &mut ReadReport,
+    pushdown: Option<&Pushdown>,
 ) -> Result<Dataset, CaliError> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.take(4)?;
@@ -479,6 +496,9 @@ pub fn read_binary_into_with(
         return Err(cursor.err("not a binary cali stream (bad magic)"));
     }
     let version = cursor.u8()?;
+    if version == crate::binary_v2::VERSION_V2 {
+        return crate::binary_v2::read_v2_body(cursor, ds, policy, report, pushdown);
+    }
     if version != VERSION {
         return Err(cursor.err(format!("unsupported binary cali version {version}")));
     }

@@ -1,0 +1,851 @@
+//! Block-columnar `CALB` v2 codec with zone maps and predicate pushdown.
+//!
+//! v2 keeps v1's stream model — a `"CALB"` magic plus version byte,
+//! dictionary records (attributes, context-tree nodes) interleaved
+//! before first use, globals records — but groups snapshot records into
+//! length-framed **blocks** (tag `0x05`). Each block carries, before any
+//! record data:
+//!
+//! * per-attribute **zone maps**: presence counts and min/max bounds of
+//!   every occurrence in the block, computed over the node-path-expanded
+//!   view of each record, so a reader holding a typed WHERE predicate
+//!   (see [`crate::pushdown`]) can prove "no record in this block can
+//!   match" and skip the whole payload without decoding a single record;
+//! * a row **skeleton** (per record: node refs and immediate attribute
+//!   ids), followed by per-attribute **value columns** holding the
+//!   immediate values in (row, occurrence) order.
+//!
+//! An optional footer index (tag `0x06`, terminated by a fixed-width
+//! length and the `"2BLC"` end magic) lets readers enumerate block
+//! offsets from the tail of the file without scanning.
+//!
+//! The byte-level layout of every structure is specified normatively in
+//! **`docs/CALB.md`**; this module doc is a summary. Decoding a v2
+//! stream reconstructs exactly the same dataset as the equivalent v1
+//! stream, record for record and entry for entry, so query results are
+//! byte-identical across encodings. Under [`ReadPolicy::Lenient`], a
+//! corrupt block payload is skipped and decoding *resyncs* at the next
+//! record (the length frame survives), while a torn length frame or a
+//! corrupt dictionary record falls back to v1's valid-prefix semantics.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::Path;
+
+use caliper_data::{AttrId, Entry, FxHashMap, FxHashSet, NodeId, Value, ValueType};
+
+use crate::binary::{
+    get_value, put_value, put_varint, BinaryDecoder, BinaryWriter, Cursor, MAGIC, TAG_ATTR,
+};
+use crate::cali::CaliError;
+use crate::dataset::Dataset;
+use crate::policy::{ReadPolicy, ReadReport};
+use crate::pushdown::{AttrStats, Pushdown, ZoneStat};
+
+/// Version byte identifying the block-columnar v2 stream flavor.
+pub(crate) const VERSION_V2: u8 = 2;
+/// Record tag for a length-framed record block.
+pub(crate) const TAG_BLOCK: u8 = 0x05;
+/// Record tag for the trailing footer index.
+pub(crate) const TAG_FOOTER: u8 = 0x06;
+/// Trailing magic closing a footer-bearing v2 stream.
+pub(crate) const END_MAGIC: &[u8; 4] = b"2BLC";
+
+/// Default number of snapshot records grouped into one block.
+pub const DEFAULT_BLOCK_RECORDS: usize = 1024;
+
+/// Writer knobs for [`to_binary_v2_with`].
+#[derive(Debug, Clone)]
+pub struct V2WriteOptions {
+    /// Snapshot records per block (clamped to at least 1).
+    pub block_records: usize,
+    /// Whether to append the footer block index.
+    pub footer: bool,
+}
+
+impl Default for V2WriteOptions {
+    fn default() -> V2WriteOptions {
+        V2WriteOptions {
+            block_records: DEFAULT_BLOCK_RECORDS,
+            footer: true,
+        }
+    }
+}
+
+/// One entry of the footer block index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Byte offset of the block's `TAG_BLOCK` byte from stream start.
+    pub offset: u64,
+    /// Snapshot records stored in the block.
+    pub rows: u64,
+}
+
+// ---- writer ----
+
+/// Serialize a dataset to the block-columnar v2 format with default
+/// options.
+pub fn to_binary_v2(ds: &Dataset) -> Vec<u8> {
+    to_binary_v2_with(ds, &V2WriteOptions::default())
+}
+
+/// Serialize a dataset to the block-columnar v2 format.
+pub fn to_binary_v2_with(ds: &Dataset, opts: &V2WriteOptions) -> Vec<u8> {
+    let block_records = opts.block_records.max(1);
+    let mut w = BinaryWriter::with_version(VERSION_V2);
+    for g in &ds.globals {
+        w.write_globals(ds, g);
+    }
+    let mut index: Vec<BlockInfo> = Vec::new();
+    let mut path_cache: FxHashMap<NodeId, Vec<(AttrId, Value)>> = FxHashMap::default();
+    for chunk in ds.records.chunks(block_records) {
+        // Dictionary records first, in exactly the order the v1 writer
+        // would emit them for the same record sequence (refs before
+        // imms, record by record), so both encodings decode into
+        // identical attribute/node creation orders.
+        for rec in chunk {
+            for entry in rec.entries() {
+                if let Entry::Node(id) = entry {
+                    w.ensure_node(ds, *id);
+                }
+            }
+            for entry in rec.entries() {
+                if let Entry::Imm(attr, _) = entry {
+                    w.ensure_attr(ds, *attr);
+                }
+            }
+        }
+        let payload = encode_block(ds, chunk, &mut path_cache);
+        index.push(BlockInfo {
+            offset: w.out.len() as u64,
+            rows: chunk.len() as u64,
+        });
+        w.out.push(TAG_BLOCK);
+        put_varint(&mut w.out, payload.len() as u64);
+        w.out.extend_from_slice(&payload);
+    }
+    if opts.footer {
+        let footer_start = w.out.len();
+        w.out.push(TAG_FOOTER);
+        put_varint(&mut w.out, index.len() as u64);
+        for info in &index {
+            put_varint(&mut w.out, info.offset);
+            put_varint(&mut w.out, info.rows);
+        }
+        let footer_len = (w.out.len() - footer_start) as u32;
+        w.out.extend_from_slice(&footer_len.to_le_bytes());
+        w.out.extend_from_slice(END_MAGIC);
+    }
+    w.finish()
+}
+
+/// Write a dataset to a v2 binary file (mirrors
+/// [`crate::binary::write_file`]).
+pub fn write_file_v2(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let bytes = to_binary_v2(ds);
+    caliper_data::metrics::global()
+        .counter("format.writer.bytes")
+        .add(bytes.len() as u64);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    file.flush()
+}
+
+/// The declared value type the v1/v2 codecs encode an attribute's
+/// values with (string fallback matches the v1 writer's behavior for
+/// unresolvable attributes).
+fn declared_type(ds: &Dataset, attr: AttrId) -> ValueType {
+    ds.store
+        .get(attr)
+        .map(|a| a.value_type())
+        .unwrap_or(ValueType::Str)
+}
+
+/// Project a value through its attribute's declared type, mirroring the
+/// `put_value`/`get_value` round trip — zone bounds must describe the
+/// values a reader will actually reconstruct, not the writer-side ones.
+fn coerce(vtype: ValueType, value: &Value) -> Value {
+    match vtype {
+        ValueType::Str => Value::str(value.to_text().as_ref()),
+        ValueType::Int => Value::Int(value.to_i64().unwrap_or(0)),
+        ValueType::UInt => Value::UInt(value.to_u64().unwrap_or(0)),
+        ValueType::Float => Value::Float(value.to_f64().unwrap_or(0.0)),
+        ValueType::Bool => Value::Bool(value.is_truthy()),
+    }
+}
+
+/// Running zone accumulator for one attribute of one block.
+struct ZoneAcc {
+    present: u64,
+    last_row: usize,
+    min: Value,
+    max: Value,
+}
+
+fn encode_block(
+    ds: &Dataset,
+    chunk: &[caliper_data::SnapshotRecord],
+    path_cache: &mut FxHashMap<NodeId, Vec<(AttrId, Value)>>,
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_varint(&mut payload, chunk.len() as u64);
+
+    // Zone maps over the node-path-expanded view of every record, in
+    // first-appearance order for deterministic output.
+    let mut zone_order: Vec<AttrId> = Vec::new();
+    let mut zones: FxHashMap<AttrId, ZoneAcc> = FxHashMap::default();
+    let mut observe = |attr: AttrId, value: Value, row: usize| match zones.entry(attr) {
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            zone_order.push(attr);
+            slot.insert(ZoneAcc {
+                present: 1,
+                last_row: row,
+                min: value.clone(),
+                max: value,
+            });
+        }
+        std::collections::hash_map::Entry::Occupied(mut slot) => {
+            let acc = slot.get_mut();
+            if acc.last_row != row {
+                acc.present += 1;
+                acc.last_row = row;
+            }
+            if value.total_cmp(&acc.min) == std::cmp::Ordering::Less {
+                acc.min = value;
+            } else if value.total_cmp(&acc.max) == std::cmp::Ordering::Greater {
+                acc.max = value;
+            }
+        }
+    };
+    for (row, rec) in chunk.iter().enumerate() {
+        for entry in rec.entries() {
+            match entry {
+                Entry::Node(id) => {
+                    let pairs = path_cache
+                        .entry(*id)
+                        .or_insert_with(|| ds.tree.path(*id));
+                    for (attr, value) in pairs.iter() {
+                        observe(*attr, coerce(declared_type(ds, *attr), value), row);
+                    }
+                }
+                Entry::Imm(attr, value) => {
+                    observe(*attr, coerce(declared_type(ds, *attr), value), row);
+                }
+            }
+        }
+    }
+    put_varint(&mut payload, zone_order.len() as u64);
+    for attr in &zone_order {
+        let acc = &zones[attr];
+        let vtype = declared_type(ds, *attr);
+        put_varint(&mut payload, *attr as u64);
+        put_varint(&mut payload, acc.present);
+        put_value(&mut payload, vtype, &acc.min);
+        put_value(&mut payload, vtype, &acc.max);
+    }
+
+    // Row skeletons: refs then immediate attribute ids, per record.
+    for rec in chunk {
+        let mut refs = 0u64;
+        let mut imms = 0u64;
+        for entry in rec.entries() {
+            match entry {
+                Entry::Node(_) => refs += 1,
+                Entry::Imm(..) => imms += 1,
+            }
+        }
+        put_varint(&mut payload, refs);
+        for entry in rec.entries() {
+            if let Entry::Node(id) = entry {
+                put_varint(&mut payload, *id as u64);
+            }
+        }
+        put_varint(&mut payload, imms);
+        for entry in rec.entries() {
+            if let Entry::Imm(attr, _) = entry {
+                put_varint(&mut payload, *attr as u64);
+            }
+        }
+    }
+
+    // Value columns: per attribute, the immediate values in (row,
+    // occurrence) order, again in first-appearance order.
+    let mut col_order: Vec<AttrId> = Vec::new();
+    let mut cols: FxHashMap<AttrId, Vec<&Value>> = FxHashMap::default();
+    for rec in chunk {
+        for entry in rec.entries() {
+            if let Entry::Imm(attr, value) = entry {
+                cols.entry(*attr)
+                    .or_insert_with(|| {
+                        col_order.push(*attr);
+                        Vec::new()
+                    })
+                    .push(value);
+            }
+        }
+    }
+    put_varint(&mut payload, col_order.len() as u64);
+    for attr in &col_order {
+        let values = &cols[attr];
+        let vtype = declared_type(ds, *attr);
+        put_varint(&mut payload, *attr as u64);
+        put_varint(&mut payload, values.len() as u64);
+        for value in values {
+            put_value(&mut payload, vtype, value);
+        }
+    }
+    payload
+}
+
+// ---- reader ----
+
+/// Incremental view of the stream dictionary's attribute *names*, used
+/// to resolve pushdown predicates (which are keyed by name) to the
+/// stream-local ids zone maps are keyed by. Duplicate declarations make
+/// a name — or, for re-declared ids, the whole dictionary — ambiguous,
+/// in which case the resolver answers [`AttrStats::Unsure`] and no
+/// block is ever skipped on that evidence.
+#[derive(Default)]
+struct NameIndex {
+    by_name: FxHashMap<String, Option<u64>>,
+    declared_ids: FxHashSet<u64>,
+    tainted: bool,
+}
+
+impl NameIndex {
+    fn declare(&mut self, id: u64, name: &str) {
+        if !self.declared_ids.insert(id) {
+            self.tainted = true;
+        }
+        match self.by_name.entry(name.to_string()) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Some(id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                slot.insert(None);
+            }
+        }
+    }
+}
+
+/// Re-parse the id and name of a `TAG_ATTR` record without consuming
+/// it (the main decode happens in [`BinaryDecoder::read_record`]; this
+/// keeps the [`NameIndex`] in sync without widening that API).
+fn peek_attr(bytes: &[u8], pos: usize) -> Option<(u64, String)> {
+    let mut cursor = Cursor { bytes, pos };
+    cursor.u8().ok()?;
+    let id = cursor.varint().ok()?;
+    let len = cursor.varint().ok()? as usize;
+    let name = std::str::from_utf8(cursor.take(len).ok()?).ok()?;
+    Some((id, name.to_string()))
+}
+
+fn read_block_frame<'a>(cursor: &mut Cursor<'a>) -> Result<&'a [u8], CaliError> {
+    cursor.u8()?; // TAG_BLOCK, already peeked
+    let len = cursor.varint()? as usize;
+    cursor.take(len)
+}
+
+/// Validate and skip the trailing footer record (sequential readers do
+/// not need its contents; [`read_footer`] serves random access).
+fn skip_footer(cursor: &mut Cursor<'_>) -> Result<(), CaliError> {
+    let start = cursor.pos;
+    cursor.u8()?; // TAG_FOOTER
+    let nblocks = cursor.varint()?;
+    for _ in 0..nblocks {
+        cursor.varint()?; // offset
+        cursor.varint()?; // rows
+    }
+    let record_len = cursor.pos - start;
+    let trail = cursor.take(8)?;
+    let framed_len = u32::from_le_bytes(trail[0..4].try_into().expect("4 bytes")) as usize;
+    if framed_len != record_len {
+        return Err(cursor.err("footer length mismatch"));
+    }
+    if &trail[4..8] != END_MAGIC {
+        return Err(cursor.err("bad v2 end magic"));
+    }
+    Ok(())
+}
+
+/// Decode one block payload. Returns `Ok(None)` when the pushdown
+/// proves no record can match (the caller accounts the skip), otherwise
+/// the block's fully reconstructed records. The target dataset is not
+/// touched until the whole payload decoded, so a corrupt block never
+/// leaves partial records behind.
+fn decode_block(
+    payload: &mut Cursor<'_>,
+    decoder: &BinaryDecoder,
+    report: &mut ReadReport,
+    pushdown: Option<&Pushdown>,
+    names: &NameIndex,
+) -> Result<Option<Vec<caliper_data::SnapshotRecord>>, CaliError> {
+    let rows = payload.varint()?;
+
+    // Zone maps.
+    let nzones = payload.varint()?;
+    let mut zones: Vec<(u64, ZoneStat)> = Vec::new();
+    for _ in 0..nzones {
+        let attr_id = payload.varint()?;
+        let present = payload.varint()?;
+        if present > rows {
+            return Err(payload.err("zone presence count exceeds block rows"));
+        }
+        let attr = decoder.lookup_attr(payload, attr_id, "zone", report)?;
+        let min = get_value(payload, attr.value_type())?;
+        let max = get_value(payload, attr.value_type())?;
+        zones.push((attr_id, ZoneStat { present, min, max }));
+    }
+
+    if let Some(pd) = pushdown {
+        let stats = |name: &str| -> AttrStats<'_> {
+            if names.tainted {
+                return AttrStats::Unsure;
+            }
+            match names.by_name.get(name) {
+                None => AttrStats::Absent,
+                Some(None) => AttrStats::Unsure,
+                Some(Some(id)) => zones
+                    .iter()
+                    .find(|(zid, _)| zid == id)
+                    .map(|(_, z)| AttrStats::Zone(z))
+                    .unwrap_or(AttrStats::Absent),
+            }
+        };
+        if !pd.may_match(rows, stats) {
+            return Ok(None);
+        }
+    }
+
+    // Row skeletons, with node refs resolved through the dictionary.
+    let mut skeleton: Vec<(Vec<NodeId>, Vec<u64>)> = Vec::new();
+    for _ in 0..rows {
+        let nrefs = payload.varint()?;
+        let mut refs = Vec::new();
+        for _ in 0..nrefs {
+            let id = payload.varint()?;
+            let local = match decoder.node_map.get(&id) {
+                Some(local) => *local,
+                None => {
+                    report.dangling_dropped += 1;
+                    return Err(payload.err(format!("ref to unknown node {id}")));
+                }
+            };
+            refs.push(local);
+        }
+        let nimm = payload.varint()?;
+        let mut imms = Vec::new();
+        for _ in 0..nimm {
+            imms.push(payload.varint()?);
+        }
+        skeleton.push((refs, imms));
+    }
+
+    // Value columns.
+    let ncols = payload.varint()?;
+    let mut columns: FxHashMap<u64, VecDeque<Value>> = FxHashMap::default();
+    for _ in 0..ncols {
+        let attr_id = payload.varint()?;
+        let attr = decoder.lookup_attr(payload, attr_id, "column", report)?;
+        let nvalues = payload.varint()?;
+        let mut values = VecDeque::new();
+        for _ in 0..nvalues {
+            values.push_back(get_value(payload, attr.value_type())?);
+        }
+        if columns.insert(attr_id, values).is_some() {
+            return Err(payload.err(format!("duplicate value column for attribute {attr_id}")));
+        }
+    }
+
+    // Reassemble records, draining each column in (row, occurrence)
+    // order — the exact inverse of the writer.
+    let mut records = Vec::with_capacity(skeleton.len());
+    for (refs, imms) in skeleton {
+        let mut rec = caliper_data::SnapshotRecord::new();
+        for r in refs {
+            rec.push_node(r);
+        }
+        for attr_id in imms {
+            let attr = decoder.lookup_attr(payload, attr_id, "imm", report)?;
+            let value = columns
+                .get_mut(&attr_id)
+                .and_then(|q| q.pop_front())
+                .ok_or_else(|| payload.err(format!("value column underrun for {attr_id}")))?;
+            rec.push_imm(attr.id(), value);
+        }
+        records.push(rec);
+    }
+    if columns.values().any(|q| !q.is_empty()) {
+        return Err(payload.err("value column overrun"));
+    }
+    if !payload.at_end() {
+        return Err(payload.err("trailing bytes in block payload"));
+    }
+    Ok(Some(records))
+}
+
+/// Parse a v2 stream body (cursor positioned just past the version
+/// byte), appending into `ds` under `policy` with optional predicate
+/// pushdown. Called from [`crate::binary::read_binary_into_filtered`].
+pub(crate) fn read_v2_body(
+    mut cursor: Cursor<'_>,
+    mut ds: Dataset,
+    policy: ReadPolicy,
+    report: &mut ReadReport,
+    pushdown: Option<&Pushdown>,
+) -> Result<Dataset, CaliError> {
+    let mut decoder = BinaryDecoder::new();
+    let mut names = NameIndex::default();
+    let pushdown = pushdown.filter(|pd| !pd.is_empty());
+    while !cursor.at_end() {
+        let tag = cursor.bytes[cursor.pos];
+        match tag {
+            TAG_BLOCK => {
+                // The length frame is the resync point: if it is torn,
+                // nothing after it is addressable (valid-prefix stop);
+                // if only the payload is corrupt, skip to the next
+                // record boundary and keep going.
+                let payload_bytes = match read_block_frame(&mut cursor) {
+                    Ok(bytes) => bytes,
+                    Err(e) => return lenient_stop(ds, policy, report, e),
+                };
+                report.blocks += 1;
+                let mut payload = Cursor {
+                    bytes: payload_bytes,
+                    pos: 0,
+                };
+                match decode_block(&mut payload, &decoder, report, pushdown, &names) {
+                    Ok(Some(records)) => {
+                        report.records += records.len() as u64;
+                        ds.records.extend(records);
+                    }
+                    Ok(None) => report.blocks_skipped += 1,
+                    Err(e) => {
+                        if !policy.is_lenient() {
+                            return Err(e);
+                        }
+                        report.skipped += 1;
+                        report.note_error(e.to_string());
+                        if report.skipped > policy.max_errors() {
+                            return Err(e);
+                        }
+                        // Resync: the cursor already sits past the
+                        // block's length frame.
+                    }
+                }
+            }
+            TAG_FOOTER => {
+                if let Err(e) = skip_footer(&mut cursor) {
+                    return lenient_stop(ds, policy, report, e);
+                }
+            }
+            _ => {
+                let pending = if tag == TAG_ATTR {
+                    peek_attr(cursor.bytes, cursor.pos)
+                } else {
+                    None
+                };
+                match decoder.read_record(&mut cursor, &mut ds, report) {
+                    Ok(is_data) => {
+                        if let Some((id, name)) = pending {
+                            names.declare(id, &name);
+                        }
+                        if is_data {
+                            report.records += 1;
+                        }
+                    }
+                    Err(e) => return lenient_stop(ds, policy, report, e),
+                }
+            }
+        }
+    }
+    Ok(ds)
+}
+
+/// v1-style valid-prefix error handling: keep what decoded, mark the
+/// report truncated, fail outright under [`ReadPolicy::Strict`].
+fn lenient_stop(
+    ds: Dataset,
+    policy: ReadPolicy,
+    report: &mut ReadReport,
+    e: CaliError,
+) -> Result<Dataset, CaliError> {
+    if !policy.is_lenient() {
+        return Err(e);
+    }
+    report.skipped += 1;
+    report.truncated = true;
+    report.note_error(e.to_string());
+    if report.skipped > policy.max_errors() {
+        return Err(e);
+    }
+    Ok(ds)
+}
+
+/// Parse the footer block index from the tail of a v2 stream, if one is
+/// present and internally consistent: the end magic and length frame
+/// must check out and every offset must point at a `TAG_BLOCK` byte.
+/// Returns `None` for v1 streams, footerless v2 streams, and damaged
+/// tails (sequential scanning always remains available).
+pub fn read_footer(bytes: &[u8]) -> Option<Vec<BlockInfo>> {
+    if bytes.len() < 5 + 8 || !bytes.starts_with(MAGIC) || bytes[4] != VERSION_V2 {
+        return None;
+    }
+    if &bytes[bytes.len() - 4..] != END_MAGIC {
+        return None;
+    }
+    let len_at = bytes.len() - 8;
+    let framed_len =
+        u32::from_le_bytes(bytes[len_at..len_at + 4].try_into().expect("4 bytes")) as usize;
+    let footer_start = len_at.checked_sub(framed_len)?;
+    if footer_start < 5 || bytes[footer_start] != TAG_FOOTER {
+        return None;
+    }
+    let mut cursor = Cursor {
+        bytes: &bytes[footer_start..len_at],
+        pos: 0,
+    };
+    cursor.u8().ok()?;
+    let nblocks = cursor.varint().ok()?;
+    let mut index = Vec::new();
+    for _ in 0..nblocks {
+        let offset = cursor.varint().ok()?;
+        let rows = cursor.varint().ok()?;
+        if offset as usize >= footer_start || bytes[offset as usize] != TAG_BLOCK {
+            return None;
+        }
+        index.push(BlockInfo { offset, rows });
+    }
+    if !cursor.at_end() {
+        return None;
+    }
+    Some(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{from_binary, from_binary_with, read_binary_into_filtered, to_binary};
+    use crate::pushdown::{Predicate, PushdownOp};
+    use caliper_data::{Properties, SnapshotRecord, NODE_NONE};
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new();
+        let func = ds.attribute("function", ValueType::Str, Properties::NESTED);
+        let iter = ds.attribute("iteration", ValueType::Int, Properties::AS_VALUE);
+        let dur = ds.attribute(
+            "time.duration",
+            ValueType::Float,
+            Properties::AS_VALUE | Properties::AGGREGATABLE,
+        );
+        let flag = ds.attribute("flag", ValueType::Bool, Properties::AS_VALUE);
+        let count = ds.attribute("n", ValueType::UInt, Properties::AS_VALUE);
+        ds.set_global("experiment", "v2-test");
+        let main = ds.tree.get_child(NODE_NONE, func.id(), &Value::str("main"));
+        let foo = ds.tree.get_child(main, func.id(), &Value::str("foo"));
+        for i in 0..50i64 {
+            let mut rec = SnapshotRecord::new();
+            rec.push_node(if i % 3 == 0 { main } else { foo });
+            rec.push_imm(iter.id(), Value::Int(i));
+            rec.push_imm(dur.id(), Value::Float(i as f64 * 0.25));
+            rec.push_imm(flag.id(), Value::Bool(i % 2 == 0));
+            rec.push_imm(count.id(), Value::UInt(i as u64 * 1000));
+            ds.push(rec);
+        }
+        ds
+    }
+
+    fn describe_all(ds: &Dataset) -> Vec<String> {
+        ds.flat_records().map(|r| r.describe(&ds.store)).collect()
+    }
+
+    fn small_blocks() -> V2WriteOptions {
+        V2WriteOptions {
+            block_records: 8,
+            footer: true,
+        }
+    }
+
+    #[test]
+    fn v2_decodes_to_the_same_dataset_as_v1() {
+        let ds = sample();
+        let v1 = from_binary(&to_binary(&ds)).unwrap();
+        let v2 = from_binary(&to_binary_v2_with(&ds, &small_blocks())).unwrap();
+        assert_eq!(v2.len(), v1.len());
+        assert_eq!(describe_all(&v2), describe_all(&v1));
+        assert_eq!(v2.global("experiment"), Some(Value::str("v2-test")));
+        // Byte-stable re-encode: both decoded datasets serialize to the
+        // exact same v1 (and v2) bytes.
+        assert_eq!(to_binary(&v1), to_binary(&v2));
+        assert_eq!(to_binary_v2(&v1), to_binary_v2(&v2));
+    }
+
+    #[test]
+    fn v2_report_counts_blocks() {
+        let ds = sample();
+        let bytes = to_binary_v2_with(&ds, &small_blocks());
+        let (back, report) = from_binary_with(&bytes, ReadPolicy::Strict).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(report.blocks, 50usize.div_ceil(8) as u64);
+        assert_eq!(report.blocks_skipped, 0);
+        assert_eq!(report.records, 50 + 1); // snapshots + globals
+    }
+
+    #[test]
+    fn footer_indexes_every_block() {
+        let ds = sample();
+        let bytes = to_binary_v2_with(&ds, &small_blocks());
+        let index = read_footer(&bytes).unwrap();
+        assert_eq!(index.len(), 50usize.div_ceil(8));
+        assert_eq!(index.iter().map(|b| b.rows).sum::<u64>(), 50);
+        for info in &index {
+            assert_eq!(bytes[info.offset as usize], TAG_BLOCK);
+        }
+        let no_footer = to_binary_v2_with(
+            &ds,
+            &V2WriteOptions {
+                block_records: 8,
+                footer: false,
+            },
+        );
+        assert!(read_footer(&no_footer).is_none());
+        assert!(read_footer(&to_binary(&ds)).is_none());
+        // A footerless stream still decodes fully.
+        assert_eq!(from_binary(&no_footer).unwrap().len(), ds.len());
+    }
+
+    #[test]
+    fn pushdown_skips_blocks_and_keeps_all_matches() {
+        let ds = sample();
+        let bytes = to_binary_v2_with(&ds, &small_blocks());
+        let mut pd = Pushdown::new();
+        // iteration >= 40: only the last two 8-record blocks qualify.
+        pd.push(Predicate::Cmp {
+            attr: "iteration".into(),
+            op: PushdownOp::Ge,
+            value: Value::Int(40),
+        });
+        let mut report = ReadReport::default();
+        let got = read_binary_into_filtered(
+            &bytes,
+            Dataset::new(),
+            ReadPolicy::Strict,
+            &mut report,
+            Some(&pd),
+        )
+        .unwrap();
+        assert!(report.blocks_skipped >= 5, "{report:?}");
+        assert_eq!(report.blocks, 7);
+        // Every record with iteration >= 40 must survive.
+        let iter = got.store.find("iteration").unwrap();
+        let survivors: Vec<i64> = got
+            .records
+            .iter()
+            .filter_map(|r| {
+                r.entries().iter().find_map(|e| match e {
+                    Entry::Imm(a, Value::Int(i)) if *a == iter.id() => Some(*i),
+                    _ => None,
+                })
+            })
+            .collect();
+        for want in 40..50 {
+            assert!(survivors.contains(&want), "iteration {want} lost");
+        }
+    }
+
+    #[test]
+    fn pushdown_on_absent_attribute_skips_everything() {
+        let ds = sample();
+        let bytes = to_binary_v2_with(&ds, &small_blocks());
+        let mut pd = Pushdown::new();
+        pd.push(Predicate::Exists("no.such.attr".into()));
+        let mut report = ReadReport::default();
+        let got = read_binary_into_filtered(
+            &bytes,
+            Dataset::new(),
+            ReadPolicy::Strict,
+            &mut report,
+            Some(&pd),
+        )
+        .unwrap();
+        assert_eq!(got.records.len(), 0);
+        assert_eq!(report.blocks_skipped, report.blocks);
+        // Globals are not blocks and always survive.
+        assert_eq!(got.global("experiment"), Some(Value::str("v2-test")));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_never_panics() {
+        let ds = sample();
+        let bytes = to_binary_v2_with(&ds, &small_blocks());
+        let full = from_binary(&bytes).unwrap().len();
+        let mut last = 0usize;
+        for cut in 0..=bytes.len() {
+            let _ = from_binary(&bytes[..cut]); // strict must not panic
+            if cut >= 5 {
+                let (prefix, _report) =
+                    from_binary_with(&bytes[..cut], ReadPolicy::lenient()).unwrap();
+                assert!(prefix.len() >= last, "cut {cut}");
+                last = prefix.len();
+            }
+        }
+        assert_eq!(last, full);
+    }
+
+    #[test]
+    fn lenient_resyncs_past_a_corrupt_block() {
+        let ds = sample();
+        let bytes = to_binary_v2_with(&ds, &small_blocks());
+        let index = read_footer(&bytes).unwrap();
+        // Wreck the first block's payload (row count varint) without
+        // touching its length frame.
+        let mut corrupt = bytes.clone();
+        let mut cursor = Cursor {
+            bytes: &bytes,
+            pos: index[0].offset as usize,
+        };
+        cursor.u8().unwrap();
+        cursor.varint().unwrap();
+        let payload_start = cursor.pos;
+        corrupt[payload_start] = 0xff;
+        let (back, report) = from_binary_with(&corrupt, ReadPolicy::lenient()).unwrap();
+        // Block 0 is lost, every later block survives the resync.
+        assert_eq!(back.len(), ds.len() - index[0].rows as usize);
+        assert_eq!(report.skipped, 1);
+        assert!(!report.truncated, "resync is not truncation: {report:?}");
+        assert!(from_binary(&corrupt).is_err(), "strict must fail");
+    }
+
+    #[test]
+    fn corrupt_dictionary_record_is_a_valid_prefix_stop() {
+        let ds = sample();
+        let bytes = to_binary_v2_with(&ds, &small_blocks());
+        let mut corrupt = bytes.clone();
+        corrupt[5] = 0x7f; // first record tag becomes unknown
+        let (back, report) = from_binary_with(&corrupt, ReadPolicy::lenient()).unwrap();
+        assert_eq!(back.len(), 0);
+        assert!(report.truncated);
+        assert!(from_binary(&corrupt).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::new();
+        let bytes = to_binary_v2(&ds);
+        let back = from_binary(&bytes).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(read_footer(&bytes).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip_v2() {
+        let dir = std::env::temp_dir().join("caliper-binary-v2-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.calb");
+        let ds = sample();
+        write_file_v2(&ds, &path).unwrap();
+        let back = crate::binary::read_file(&path).unwrap();
+        assert_eq!(back.len(), ds.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod binary_v2;
 pub mod cali;
 pub mod csv;
 pub mod dataset;
@@ -40,17 +41,21 @@ pub mod flamegraph;
 pub mod journal;
 pub mod json;
 pub mod policy;
+pub mod pushdown;
 pub mod reader;
 pub mod schema;
 pub mod table;
 
+pub use binary_v2::{read_footer, to_binary_v2, to_binary_v2_with, BlockInfo, V2WriteOptions};
 pub use cali::{CaliError, CaliReader, CaliWriter};
+pub use pushdown::{AttrStats, Predicate, Pushdown, PushdownOp, ZoneStat};
 pub use dataset::Dataset;
 pub use schema::{AttrSchema, Schema};
 pub use journal::{FlushPolicy, JournalCounters, JournalWriter, RecoveryReport, SEQ_ATTR};
 pub use json::{parse_json, Json, JsonError};
 pub use policy::{ReadPolicy, ReadReport, MAX_REPORTED_ERRORS};
 pub use reader::{
-    read_path, read_path_into, read_path_into_reported, read_path_reported, RecordBatch,
+    read_path, read_path_into, read_path_into_filtered, read_path_into_reported,
+    read_path_reported, read_path_reported_filtered, RecordBatch,
 };
 pub use table::Table;

@@ -76,6 +76,14 @@ pub struct ReadReport {
     pub path: Option<PathBuf>,
     /// Data records (snapshots + globals) decoded successfully.
     pub records: u64,
+    /// Record blocks encountered in block-structured streams (CALB v2);
+    /// 0 for text and v1 binary streams.
+    pub blocks: u64,
+    /// Blocks skipped wholesale because a pushed-down WHERE predicate
+    /// proved no contained record could match (their records are not
+    /// counted in `records`). A skip is an optimization, not an error —
+    /// it never makes a report unclean.
+    pub blocks_skipped: u64,
     /// Records (text lines / binary records) skipped as malformed.
     pub skipped: u64,
     /// Entries dropped because they referenced undeclared attribute or
@@ -116,6 +124,8 @@ impl ReadReport {
     /// Fold another report into this one (multi-file totals).
     pub fn absorb(&mut self, other: &ReadReport) {
         self.records += other.records;
+        self.blocks += other.blocks;
+        self.blocks_skipped += other.blocks_skipped;
         self.skipped += other.skipped;
         self.dangling_dropped += other.dangling_dropped;
         self.truncated |= other.truncated;

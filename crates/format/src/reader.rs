@@ -22,12 +22,13 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
 
-use caliper_data::FlatRecord;
+use caliper_data::{AttrId, Entry, FlatRecord, FxHashMap, NodeId, Value};
 
 use crate::binary;
 use crate::cali::{CaliError, CaliReader};
 use crate::dataset::Dataset;
 use crate::policy::{ReadPolicy, ReadReport};
+use crate::pushdown::Pushdown;
 
 /// Reads one `.cali` or `CALB` file into a fresh dataset, sniffing the
 /// format from the stream header (not the file name). Errors carry the
@@ -63,12 +64,42 @@ pub fn read_path_into_reported(
     ds: Dataset,
     policy: ReadPolicy,
 ) -> Result<(Dataset, ReadReport), CaliError> {
+    read_path_into_filtered(path, ds, policy, None)
+}
+
+/// Reads one `.cali` or `CALB` file into a fresh dataset under `policy`
+/// with an optional WHERE-predicate [`Pushdown`], returning the per-file
+/// [`ReadReport`].
+///
+/// Block-structured streams (CALB v2) use the pushdown to skip whole
+/// record blocks whose zone maps prove no record can match — accounted
+/// in [`ReadReport::blocks_skipped`] and the
+/// `format.reader.blocks_skipped` metric. Text and v1 binary streams
+/// decode fully; the pushdown never changes which records *match* a
+/// query, only how many provably-irrelevant ones get decoded.
+pub fn read_path_reported_filtered(
+    path: impl AsRef<Path>,
+    policy: ReadPolicy,
+    pushdown: Option<&Pushdown>,
+) -> Result<(Dataset, ReadReport), CaliError> {
+    read_path_into_filtered(path, Dataset::new(), policy, pushdown)
+}
+
+/// Reads one `.cali` or `CALB` file under `policy` with an optional
+/// pushdown, appending into `ds` (see [`read_path_reported_filtered`]).
+pub fn read_path_into_filtered(
+    path: impl AsRef<Path>,
+    ds: Dataset,
+    policy: ReadPolicy,
+    pushdown: Option<&Pushdown>,
+) -> Result<(Dataset, ReadReport), CaliError> {
     let path = path.as_ref();
     let attribute = |e: CaliError| e.with_path(path);
     let mut report = ReadReport::for_path(path);
     let bytes = std::fs::read(path).map_err(|e| attribute(CaliError::Io(e)))?;
     let ds = if bytes.starts_with(binary::MAGIC) {
-        binary::read_binary_into_with(&bytes, ds, policy, &mut report).map_err(attribute)?
+        binary::read_binary_into_filtered(&bytes, ds, policy, &mut report, pushdown)
+            .map_err(attribute)?
     } else {
         let mut reader = CaliReader::into_dataset(ds);
         reader
@@ -96,6 +127,8 @@ fn record_read_metrics(bytes: u64, report: &ReadReport) {
         .add(u64::from(report.truncated));
     m.counter("format.reader.errors")
         .add(report.errors.len() as u64 + report.suppressed_errors);
+    m.counter("format.reader.blocks_skipped")
+        .add(report.blocks_skipped);
 }
 
 /// A contiguous run of one dataset's snapshot records, sharing the
@@ -142,6 +175,34 @@ impl RecordBatch {
         self.dataset.records[self.range.clone()]
             .iter()
             .map(|r| r.unpack(&self.dataset.tree))
+    }
+
+    /// Visit the batch's records expanded to flat records, in stream
+    /// order, caching node-path expansions across the batch.
+    ///
+    /// This is the aggregation hot path: records in a batch overwhelmingly
+    /// share context-tree nodes, so walking the tree once per *unique*
+    /// node (instead of once per record as [`flat_records`] does) removes
+    /// most locking and allocation from the per-record cost.
+    ///
+    /// [`flat_records`]: RecordBatch::flat_records
+    pub fn for_each_flat(&self, mut f: impl FnMut(FlatRecord)) {
+        let mut cache: FxHashMap<NodeId, Vec<(AttrId, Value)>> = FxHashMap::default();
+        for rec in &self.dataset.records[self.range.clone()] {
+            let mut pairs: Vec<(AttrId, Value)> = Vec::with_capacity(rec.len() * 2);
+            for entry in rec.entries() {
+                match entry {
+                    Entry::Node(id) => {
+                        let path = cache
+                            .entry(*id)
+                            .or_insert_with(|| self.dataset.tree.path(*id));
+                        pairs.extend_from_slice(path);
+                    }
+                    Entry::Imm(attr, value) => pairs.push((*attr, value.clone())),
+                }
+            }
+            f(FlatRecord::from_pairs(pairs));
+        }
     }
 }
 

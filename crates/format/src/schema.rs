@@ -374,6 +374,23 @@ fn scan_binary_record(
                 skip_value(cursor, value_type_of(types, cursor, attr)?)?;
             }
         }
+        crate::binary_v2::TAG_BLOCK => {
+            // v2 record block: length-framed, so the whole payload can
+            // be skipped without decoding. Blocks interleave with later
+            // dictionary records, so the scan must hop over them rather
+            // than stop.
+            let len = cursor.varint()? as usize;
+            cursor.take(len)?;
+        }
+        crate::binary_v2::TAG_FOOTER => {
+            // v2 footer index: offset/row pairs plus an 8-byte trailer.
+            let nblocks = cursor.varint()?;
+            for _ in 0..nblocks {
+                cursor.varint()?;
+                cursor.varint()?;
+            }
+            cursor.take(8)?;
+        }
         _ => return Err(cursor.err("unknown record tag")),
     }
     Ok(())

@@ -1,8 +1,11 @@
 //! Property-based tests: the `.cali` codec must roundtrip arbitrary
-//! datasets, and the escaping layer must roundtrip arbitrary strings.
+//! datasets, the CALB v2 columnar codec must decode to the same dataset
+//! as v1 (and zone-map skipping must never drop a matching record), and
+//! the escaping layer must roundtrip arbitrary strings.
 
 use caliper_data::{Properties, SnapshotRecord, Value, ValueType, NODE_NONE};
-use caliper_format::{cali, escape, Dataset};
+use caliper_format::pushdown::{Predicate, Pushdown, PushdownOp};
+use caliper_format::{cali, escape, Dataset, ReadPolicy, ReadReport, V2WriteOptions};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -18,6 +21,91 @@ fn arb_roundtrip_value() -> impl Strategy<Value = Value> {
         any::<i32>().prop_map(|i| Value::Float(i as f64 / 8.0)),
         any::<bool>().prop_map(Value::Bool),
     ]
+}
+
+/// The random record shape the codec roundtrip properties share:
+/// nesting stacks over `labels` plus typed immediates.
+type ArbRecords = Vec<(Vec<(usize, String)>, Vec<(usize, Value)>)>;
+
+/// Materialize the random shape into a dataset (nested attributes from
+/// `labels`, one immediate attribute per value type, values coerced to
+/// the immediate attribute's type so the stream stays type-faithful).
+fn build_dataset(labels: &[String], records: &ArbRecords) -> Dataset {
+    let mut ds = Dataset::new();
+    let nested: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| ds.attribute(&format!("n.{i}.{l}"), ValueType::Str, Properties::NESTED))
+        .collect();
+    let imm: Vec<_> = [
+        ValueType::Str,
+        ValueType::Int,
+        ValueType::UInt,
+        ValueType::Float,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, t)| ds.attribute(&format!("imm.{i}"), *t, Properties::AS_VALUE))
+    .collect();
+
+    for (stack, imms) in records {
+        let mut node = NODE_NONE;
+        for (ai, v) in stack {
+            let attr = &nested[ai % nested.len()];
+            node = ds.tree.get_child(node, attr.id(), &Value::str(v.as_str()));
+        }
+        let mut rec = SnapshotRecord::new();
+        if node != NODE_NONE {
+            rec.push_node(node);
+        }
+        for (ai, v) in imms {
+            let attr = &imm[ai % imm.len()];
+            let coerced = match attr.value_type() {
+                ValueType::Str => Value::str(v.to_string()),
+                ValueType::Int => Value::Int(v.to_i64().unwrap_or(0)),
+                ValueType::UInt => Value::UInt(v.to_u64().unwrap_or(0)),
+                ValueType::Float => Value::Float(v.to_f64().unwrap_or(0.0)),
+                ValueType::Bool => Value::Bool(v.is_truthy()),
+            };
+            rec.push_imm(attr.id(), coerced);
+        }
+        ds.push(rec);
+    }
+    ds
+}
+
+/// Sorted flat-record descriptions — a dataset's multiset of expanded
+/// records, independent of id assignment.
+fn record_multiset(ds: &Dataset) -> Vec<String> {
+    let mut out: Vec<String> = ds.flat_records().map(|r| r.describe(&ds.store)).collect();
+    out.sort();
+    out
+}
+
+/// Runtime semantics of one pushed-down comparison (mirrors
+/// `FilterSet`: presence required; `!=` means *every* occurrence
+/// differs, the other operators mean *some* occurrence satisfies).
+fn record_matches(ds: &Dataset, rec: &caliper_data::FlatRecord, pred: &Predicate) -> bool {
+    let (name, op, literal) = match pred {
+        Predicate::Cmp { attr, op, value } => (attr, op, value),
+        _ => unreachable!("only Cmp predicates are generated here"),
+    };
+    let Some(attr) = ds.store.find(name) else {
+        return false;
+    };
+    let mut occurrences = rec.all(attr.id()).peekable();
+    if occurrences.peek().is_none() {
+        return false;
+    }
+    use std::cmp::Ordering;
+    match op {
+        PushdownOp::Eq => occurrences.any(|v| v == literal),
+        PushdownOp::Ne => occurrences.all(|v| v != literal),
+        PushdownOp::Lt => occurrences.any(|v| v.total_cmp(literal) == Ordering::Less),
+        PushdownOp::Gt => occurrences.any(|v| v.total_cmp(literal) == Ordering::Greater),
+        PushdownOp::Le => occurrences.any(|v| v.total_cmp(literal) != Ordering::Greater),
+        PushdownOp::Ge => occurrences.any(|v| v.total_cmp(literal) != Ordering::Less),
+    }
 }
 
 proptest! {
@@ -44,48 +132,7 @@ proptest! {
             0..20,
         ),
     ) {
-        let mut ds = Dataset::new();
-        let nested: Vec<_> = labels
-            .iter()
-            .enumerate()
-            .map(|(i, l)| ds.attribute(&format!("n.{i}.{l}"), ValueType::Str, Properties::NESTED))
-            .collect();
-        let imm: Vec<_> = [
-            ValueType::Str,
-            ValueType::Int,
-            ValueType::UInt,
-            ValueType::Float,
-        ]
-        .iter()
-        .enumerate()
-        .map(|(i, t)| ds.attribute(&format!("imm.{i}"), *t, Properties::AS_VALUE))
-        .collect();
-
-        for (stack, imms) in &records {
-            let mut node = NODE_NONE;
-            for (ai, v) in stack {
-                let attr = &nested[ai % nested.len()];
-                node = ds.tree.get_child(node, attr.id(), &Value::str(v.as_str()));
-            }
-            let mut rec = SnapshotRecord::new();
-            if node != NODE_NONE {
-                rec.push_node(node);
-            }
-            for (ai, v) in imms {
-                // Coerce the value to the immediate attribute's type so
-                // the stream stays type-faithful.
-                let attr = &imm[ai % imm.len()];
-                let coerced = match attr.value_type() {
-                    ValueType::Str => Value::str(v.to_string()),
-                    ValueType::Int => Value::Int(v.to_i64().unwrap_or(0)),
-                    ValueType::UInt => Value::UInt(v.to_u64().unwrap_or(0)),
-                    ValueType::Float => Value::Float(v.to_f64().unwrap_or(0.0)),
-                    ValueType::Bool => Value::Bool(v.is_truthy()),
-                };
-                rec.push_imm(attr.id(), coerced);
-            }
-            ds.push(rec);
-        }
+        let ds = build_dataset(&labels, &records);
 
         let bytes = cali::to_bytes(&ds);
         let ds2 = cali::from_bytes(&bytes).unwrap();
@@ -104,6 +151,154 @@ proptest! {
             .map(|r| r.describe(&ds3.store))
             .collect();
         prop_assert_eq!(&orig, &back_bin);
+    }
+
+    /// The block-columnar v2 encoding of any dataset must decode to the
+    /// same record multiset as the v1 encoding, for every block size and
+    /// with or without a footer — and both decodes must re-encode to
+    /// byte-identical v1 streams (the dictionaries come back in the same
+    /// creation order).
+    #[test]
+    fn v2_decodes_identically_to_v1(
+        labels in prop::collection::vec(arb_label(), 2..5),
+        records in prop::collection::vec(
+            (
+                prop::collection::vec((0usize..4, "[ -~]{0,16}"), 0..5),
+                prop::collection::vec((0usize..4, arb_roundtrip_value()), 0..4),
+            ),
+            0..40,
+        ),
+        block_records in 1usize..9,
+        footer in any::<bool>(),
+    ) {
+        let ds = build_dataset(&labels, &records);
+        let v1 = caliper_format::binary::to_binary(&ds);
+        let v2 = caliper_format::to_binary_v2_with(&ds, &V2WriteOptions { block_records, footer });
+        let d1 = caliper_format::binary::from_binary(&v1).unwrap();
+        let d2 = caliper_format::binary::from_binary(&v2).unwrap();
+        prop_assert_eq!(d1.len(), ds.len());
+        prop_assert_eq!(d2.len(), ds.len());
+        prop_assert_eq!(record_multiset(&d1), record_multiset(&d2));
+        prop_assert_eq!(
+            caliper_format::binary::to_binary(&d1),
+            caliper_format::binary::to_binary(&d2)
+        );
+    }
+
+    /// Zone-map soundness: a pushdown-filtered decode may drop whole
+    /// blocks, but every record the predicate actually matches must
+    /// survive — a skipped block can never contain a matching record.
+    #[test]
+    fn zone_map_skips_never_drop_a_matching_record(
+        labels in prop::collection::vec(arb_label(), 2..4),
+        records in prop::collection::vec(
+            (
+                prop::collection::vec((0usize..4, "[a-d]{0,3}"), 0..4),
+                prop::collection::vec((0usize..4, arb_roundtrip_value()), 0..4),
+            ),
+            0..40,
+        ),
+        block_records in 1usize..8,
+        attr_idx in 0usize..4,
+        op_idx in 0usize..6,
+        raw_literal in arb_roundtrip_value(),
+    ) {
+        let ds = build_dataset(&labels, &records);
+        // Compare against one of the immediate attributes, with the
+        // literal coerced to its declared type (the typed-comparison
+        // case sema admits for pushdown).
+        let literal = match attr_idx {
+            0 => Value::str(raw_literal.to_string()),
+            1 => Value::Int(raw_literal.to_i64().unwrap_or(0)),
+            2 => Value::UInt(raw_literal.to_u64().unwrap_or(0)),
+            _ => Value::Float(raw_literal.to_f64().unwrap_or(0.0)),
+        };
+        let op = [
+            PushdownOp::Eq,
+            PushdownOp::Ne,
+            PushdownOp::Lt,
+            PushdownOp::Le,
+            PushdownOp::Gt,
+            PushdownOp::Ge,
+        ][op_idx];
+        let pred = Predicate::Cmp {
+            attr: format!("imm.{attr_idx}"),
+            op,
+            value: literal,
+        };
+        let mut pd = Pushdown::new();
+        pd.push(pred.clone());
+
+        let v2 = caliper_format::to_binary_v2_with(
+            &ds,
+            &V2WriteOptions { block_records, footer: true },
+        );
+        let mut report = ReadReport::default();
+        let filtered = caliper_format::binary::read_binary_into_filtered(
+            &v2,
+            Dataset::new(),
+            ReadPolicy::Strict,
+            &mut report,
+            Some(&pd),
+        )
+        .unwrap();
+        prop_assert_eq!(report.blocks, ds.len().div_ceil(block_records) as u64);
+
+        let mut matching: Vec<String> = ds
+            .flat_records()
+            .filter(|r| record_matches(&ds, r, &pred))
+            .map(|r| r.describe(&ds.store))
+            .collect();
+        matching.sort();
+        let mut kept_matching: Vec<String> = filtered
+            .flat_records()
+            .filter(|r| record_matches(&filtered, r, &pred))
+            .map(|r| r.describe(&filtered.store))
+            .collect();
+        kept_matching.sort();
+        // Every matching record survives (same multiset on both sides)…
+        prop_assert_eq!(&matching, &kept_matching);
+        // …and whatever else survives came from the original stream.
+        let full = record_multiset(&ds);
+        for rec in record_multiset(&filtered) {
+            prop_assert!(full.binary_search(&rec).is_ok());
+        }
+    }
+
+    /// Lenient v2 decode must accept any truncation of a valid stream
+    /// without panicking, and longer prefixes can only yield more
+    /// records.
+    #[test]
+    fn v2_truncation_is_lenient_at_every_byte(
+        labels in prop::collection::vec(arb_label(), 2..4),
+        records in prop::collection::vec(
+            (
+                prop::collection::vec((0usize..4, "[a-d]{0,3}"), 0..4),
+                prop::collection::vec((0usize..4, arb_roundtrip_value()), 0..3),
+            ),
+            0..12,
+        ),
+        block_records in 1usize..5,
+    ) {
+        let ds = build_dataset(&labels, &records);
+        let v2 = caliper_format::to_binary_v2_with(
+            &ds,
+            &V2WriteOptions { block_records, footer: true },
+        );
+        let mut last = 0usize;
+        for cut in 5..=v2.len() {
+            match caliper_format::binary::from_binary_with(
+                &v2[..cut],
+                ReadPolicy::lenient(),
+            ) {
+                Ok((partial, _)) => {
+                    prop_assert!(partial.len() <= ds.len());
+                    prop_assert!(partial.len() >= last);
+                    last = partial.len();
+                }
+                Err(_) => prop_assert!(false, "lenient v2 decode failed at byte {cut}"),
+            }
+        }
     }
 
     /// CSV quoting roundtrips under a trivial CSV parser for quoted fields.

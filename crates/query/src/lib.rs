@@ -41,6 +41,7 @@ pub mod lexer;
 pub mod ops;
 pub mod parallel;
 pub mod parser;
+pub mod pushdown;
 pub mod query;
 pub mod sema;
 
@@ -55,5 +56,6 @@ pub use parallel::{
     parallel_query_files, ParallelOptions, ParallelQueryError, ShardTimings, WorkerTimings,
 };
 pub use parser::{parse_query, parse_query_spanned, ParseError, SpanMap};
+pub use pushdown::build_pushdown;
 pub use query::{run_query, Pipeline, QueryResult};
 pub use sema::analyze;

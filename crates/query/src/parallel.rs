@@ -75,10 +75,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use caliper_format::reader::{self, RecordBatch};
-use caliper_format::{CaliError, ReadPolicy, ReadReport};
+use caliper_format::{CaliError, Pushdown, ReadPolicy, ReadReport};
 use crossbeam::channel::{unbounded, Sender};
 
 use crate::parser::{parse_query, ParseError};
+use crate::pushdown::build_pushdown;
 use crate::query::{Pipeline, QueryResult};
 use crate::QuerySpec;
 
@@ -101,6 +102,12 @@ pub struct ParallelOptions {
     /// database (`None` = unbounded). See
     /// [`Aggregator::set_max_groups`](crate::Aggregator::set_max_groups).
     pub max_groups: Option<usize>,
+    /// WHERE-predicate pushdown handed to every worker's reader so
+    /// block-structured inputs (CALB v2) can skip irrelevant blocks.
+    /// `None` auto-builds a schema-free pushdown from the query (see
+    /// [`build_pushdown`]); pass an explicit (possibly schema-aware)
+    /// one to share the exact same instance with a serial path.
+    pub pushdown: Option<Arc<Pushdown>>,
 }
 
 impl Default for ParallelOptions {
@@ -110,6 +117,7 @@ impl Default for ParallelOptions {
             batch_records: DEFAULT_BATCH_RECORDS,
             read_policy: ReadPolicy::Strict,
             max_groups: None,
+            pushdown: None,
         }
     }
 }
@@ -132,6 +140,13 @@ impl ParallelOptions {
     /// Builder-style group-capacity override.
     pub fn with_max_groups(mut self, cap: Option<usize>) -> Self {
         self.max_groups = cap;
+        self
+    }
+
+    /// Builder-style pushdown override (see
+    /// [`ParallelOptions::pushdown`]).
+    pub fn with_pushdown(mut self, pushdown: Option<Arc<Pushdown>>) -> Self {
+        self.pushdown = pushdown;
         self
     }
 
@@ -270,6 +285,13 @@ pub fn parallel_query_files<P: AsRef<Path>>(
     let batch_records = options.batch_records.max(1);
     let read_policy = options.read_policy;
     let max_groups = options.max_groups;
+    // One pushdown instance for every worker: block skipping is a pure
+    // function of (input bytes, pushdown), so sharing it keeps reads —
+    // and the `blocks_skipped` accounting — thread-count independent.
+    let pushdown: Option<Arc<Pushdown>> = options.pushdown.clone().or_else(|| {
+        let pd = build_pushdown(&spec, None);
+        (!pd.is_empty()).then(|| Arc::new(pd))
+    });
     let spec = Arc::new(spec);
 
     let (work_tx, work_rx) = unbounded::<Unit>();
@@ -304,6 +326,7 @@ pub fn parallel_query_files<P: AsRef<Path>>(
             let timing_tx = timing_tx.clone();
             let report_tx = report_tx.clone();
             let spec = Arc::clone(&spec);
+            let pushdown = pushdown.clone();
             let outstanding = Arc::clone(&outstanding);
             scope.spawn(move || {
                 let mut timings = WorkerTimings::default();
@@ -312,7 +335,11 @@ pub fn parallel_query_files<P: AsRef<Path>>(
                         Unit::Stop => break,
                         Unit::File { file, path } => {
                             let t0 = Instant::now();
-                            let decoded = reader::read_path_reported(&path, read_policy);
+                            let decoded = reader::read_path_reported_filtered(
+                                &path,
+                                read_policy,
+                                pushdown.as_deref(),
+                            );
                             timings.read_s += t0.elapsed().as_secs_f64();
                             timings.files += 1;
                             let outcome = match decoded {
@@ -436,9 +463,7 @@ fn aggregate_batch(
         Arc::clone(&batch.dataset().store),
     )
     .with_max_groups(max_groups);
-    for record in batch.flat_records() {
-        shard.process(record);
-    }
+    batch.for_each_flat(|record| shard.process(record));
     timings.process_s += t0.elapsed().as_secs_f64();
     timings.units += 1;
     timings.records += batch.len() as u64;

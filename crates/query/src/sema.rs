@@ -31,6 +31,7 @@
 //! | W004 | type-incompatible WHERE comparison (constant result) |
 //! | W005 | likely-contradictory WHERE clauses |
 //! | W006 | LET numeric function over a non-numeric input |
+//! | W007 | WHERE predicate is not pushdown-eligible (no block skipping) |
 
 use std::collections::BTreeMap;
 
@@ -289,6 +290,7 @@ fn check_filters(ctx: &Context<'_>, diags: &mut Vec<Diagnostic>) {
             diags.push(ctx.unknown_input(attr, "WHERE", span));
             continue;
         }
+        check_pushdown_eligibility(ctx, filter, attr, span, diags);
         if let Filter::Cmp { attr, op, value } = filter {
             if let Some(attr_type) = ctx.input_type(attr) {
                 let literal_type = value.value_type();
@@ -321,6 +323,60 @@ fn check_filters(ctx: &Context<'_>, diags: &mut Vec<Diagnostic>) {
         }
     }
     check_filter_contradictions(ctx, diags);
+}
+
+/// W007: the WHERE clause is correct but cannot use the CALB v2
+/// columnar block-skip fast path (cf. `caliper_query::pushdown`), so
+/// the reader decodes every block. Purely advisory — results are
+/// unaffected.
+fn check_pushdown_eligibility(
+    ctx: &Context<'_>,
+    filter: &Filter,
+    attr: &str,
+    span: Option<Span>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if ctx.let_types.contains_key(attr) {
+        diags.push(
+            Diagnostic::warning(
+                "W007",
+                span,
+                format!(
+                    "WHERE on '{attr}' cannot use the columnar block-skip fast \
+                     path: '{attr}' is computed by LET after decode"
+                ),
+            )
+            .with_help(
+                "filter on a stream attribute instead, or accept a full decode \
+                 of every block",
+            ),
+        );
+        return;
+    }
+    if !matches!(filter, Filter::Cmp { .. }) {
+        return;
+    }
+    let mixed = ctx
+        .schema
+        .and_then(|s| s.get(attr))
+        .is_some_and(|a| a.value_type.is_none());
+    if mixed {
+        diags.push(
+            Diagnostic::warning(
+                "W007",
+                span,
+                format!(
+                    "comparing mixed-typed attribute '{attr}' cannot use the \
+                     columnar block-skip fast path: its per-stream types \
+                     disagree, so block bounds cannot be trusted"
+                ),
+            )
+            .with_help(format!(
+                "declare '{attr}' with one consistent type across streams to \
+                 make the comparison pushdown-eligible"
+            )),
+        );
+    }
 }
 
 /// E007 (provable) and W005 (likely) contradictions between AND-ed
@@ -850,6 +906,41 @@ mod tests {
         let diags = analyze(&spec, Some(&spans), None);
         // No E002 without a schema, but the contradiction still fires.
         assert_eq!(codes(&diags), ["E007"]);
+    }
+
+    #[test]
+    fn where_on_a_let_output_warns_pushdown_ineligible() {
+        let diags = run(
+            "LET ms = scale(time.duration, 1000) AGGREGATE sum(ms) \
+             WHERE ms > 5 GROUP BY function",
+        );
+        assert_eq!(codes(&diags), ["W007"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("computed by LET after decode"));
+        // Fires without a schema too — the exclusion is schema-independent.
+        let (spec, spans) = parse_query_spanned(
+            "LET ms = scale(time.duration, 1000) AGGREGATE sum(ms) \
+             WHERE ms GROUP BY function",
+        )
+        .unwrap();
+        assert_eq!(codes(&analyze(&spec, Some(&spans), None)), ["W007"]);
+    }
+
+    #[test]
+    fn comparing_a_mixed_typed_attribute_warns_pushdown_ineligible() {
+        let mut s = schema();
+        s.observe("mpi.rank", ValueType::Str, Properties::GLOBAL); // now mixed
+        let (spec, spans) =
+            parse_query_spanned("AGGREGATE count WHERE mpi.rank = 3 GROUP BY function").unwrap();
+        let diags = analyze(&spec, Some(&spans), Some(&s));
+        assert_eq!(codes(&diags), ["W007"]);
+        assert!(diags[0].message.contains("mixed-typed"));
+        // Existence tests on the same mixed attribute stay eligible.
+        let (spec, spans) =
+            parse_query_spanned("AGGREGATE count WHERE mpi.rank GROUP BY function").unwrap();
+        assert!(analyze(&spec, Some(&spans), Some(&s)).is_empty());
+        // And a consistently-typed comparison never fires W007.
+        assert!(run("AGGREGATE count WHERE mpi.rank = 3 GROUP BY function").is_empty());
     }
 
     #[test]
