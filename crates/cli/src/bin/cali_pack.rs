@@ -32,16 +32,69 @@ Options:
   --lenient            skip corrupt input records instead of aborting
   --max-errors N       like --lenient, but give up on a file after
                        skipping more than N corrupt records
+  --mutate MODE        chaos-testing helper: instead of re-encoding,
+                       deterministically damage each input file's raw
+                       bytes in place (bitflip | truncate | garbage-block),
+                       seeded by --seed and the file path; prints what
+                       was done to stderr
+  --seed N             mutation seed (default 0); the same seed, mode,
+                       and file always produce the same damage
   -h, --help           show this help
 
 Exit codes: 0 success, 1 error, 2 success but some input records were
 skipped (lenient reads over partially corrupt input).
 ";
 
+/// `--mutate`: damage each input file's raw bytes in place, seeded by
+/// `--seed` and the file path — the file-level fuzz half of the chaos
+/// suite (the failpoint registry injects faults at runtime; this makes
+/// reproducibly *bad files* for the lenient readers to survive).
+fn mutate_files(mode: &str, seed: Option<&str>, paths: &[String]) -> ExitCode {
+    let mode = match caliper_faults::CorruptMode::parse(mode) {
+        Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("cali-pack: --mutate: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = match seed.map(str::parse::<u64>) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("cali-pack: --seed takes a non-negative integer\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for path in paths {
+        let mut bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("cali-pack: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let before = bytes.len();
+        // Mix the path into the seed so a multi-file corpus doesn't get
+        // the same damage offset in every file.
+        let file_seed = seed ^ caliper_faults::stable_hash(path);
+        let changed = caliper_faults::corrupt_bytes(mode, file_seed, &mut bytes);
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("cali-pack: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "cali-pack: mutated {path}: {mode:?} seed {seed}: {before} -> {} bytes{}",
+            bytes.len(),
+            if changed { "" } else { " (no change: empty file)" }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(
         std::env::args().skip(1),
-        &["o", "output", "block-records", "max-errors"],
+        &["o", "output", "block-records", "max-errors", "mutate", "seed"],
     ) {
         Ok(args) => args,
         Err(e) => {
@@ -56,6 +109,9 @@ fn main() -> ExitCode {
     if args.positional.is_empty() {
         eprintln!("cali-pack: no input files\n{USAGE}");
         return ExitCode::FAILURE;
+    }
+    if let Some(mode) = args.get(&["mutate"]) {
+        return mutate_files(mode, args.get(&["seed"]), &args.positional);
     }
     let block_records = match args.get(&["block-records"]).map(str::parse::<usize>) {
         None => V2WriteOptions::default().block_records,

@@ -10,11 +10,11 @@ use std::process::ExitCode;
 
 use std::sync::Arc;
 
-use cali_cli::{lint, parse_args, query_files_streaming_opts, read_files_reported};
+use cali_cli::{lint, parse_args, query_files_streaming_degrade, read_files_reported};
 use caliper_format::{Pushdown, ReadPolicy, ReadReport};
 use caliper_query::{
     analyze, build_pushdown, parallel_query_files, parse_query_spanned, ParallelOptions,
-    ParallelQueryError, QueryResult, ShardTimings, OVERFLOW_KEY,
+    ParallelQueryError, QueryResult, ShardFailure, ShardTimings, OVERFLOW_KEY,
 };
 
 const USAGE: &str = "usage: cali-query [-q QUERY] [-o FILE] [--threads N] INPUT.cali...
@@ -35,7 +35,9 @@ Options:
                       summary of skipped work is printed on stderr
                       (opening a missing file is still an error)
   --max-errors N      like --lenient, but give up on a file after
-                      skipping more than N corrupt records
+                      skipping more than N corrupt records; a file that
+                      lands exactly on the cap succeeds with a
+                      \"budget exhausted\" note on stderr and exit code 2
   --max-groups N      cap the aggregation database at N groups; once at
                       capacity, records with new keys fold into a single
                       \"__overflow__\" bucket (memory stays bounded, totals
@@ -47,6 +49,14 @@ Options:
                       1 on errors, 2 on warnings only
   --no-lint           suppress the advisory lint warnings normal runs
                       print on stderr
+  --faults SPEC       arm the deterministic fault-injection registry,
+                      e.g. \"io.read=fail(2);v2.block=corrupt(bitflip,7)\"
+                      (equivalent to the CALI_FAULTS environment
+                      variable; see docs/CHAOS.md for the grammar)
+  --degrade           partial results instead of aborting: drop an input
+                      file whose read exhausts the transient-error
+                      retries, report the dropped shard on stderr, and
+                      exit 2; output stays identical for every --threads
   --timings           report a per-worker timing breakdown on stderr
   --stats[=FORMAT]    report pipeline self-instrumentation metrics on
                       stderr after the query: sorted name=value lines
@@ -58,8 +68,9 @@ Options:
   --list-globals      print dataset-global metadata instead of querying
   -h, --help          show this help
 
-Exit codes: 0 success, 1 error, 2 success but some records were skipped
-(lenient reads over partially corrupt input).
+Exit codes: 0 success, 1 error, 2 success but the result is partial
+(lenient reads skipped records, a file hit the --max-errors budget
+exactly, or --degrade dropped a failed shard).
 ";
 
 /// Render the attribute dictionary (name, type, properties).
@@ -108,7 +119,7 @@ fn report_timings(timings: &ShardTimings) {
 /// is loud even when the run succeeds. Returns true when any data was
 /// skipped — the caller exits with code 2 so scripts can detect a
 /// partial result.
-fn report_skipped(reports: &[ReadReport]) -> bool {
+fn report_skipped(reports: &[ReadReport], policy: ReadPolicy) -> bool {
     let mut files_with_errors = 0usize;
     let mut total = ReadReport::default();
     for report in reports {
@@ -116,6 +127,26 @@ fn report_skipped(reports: &[ReadReport]) -> bool {
         if !report.is_clean() {
             files_with_errors += 1;
             eprintln!("cali-query: {}", report.summary());
+        }
+        // Landing exactly on the --max-errors cap is the boundary
+        // between "partial result" (exit 2) and "abort" (exit 1): one
+        // more error would have failed the file. Say so explicitly, so
+        // a run that barely survived is distinguishable from one with
+        // budget to spare.
+        if let ReadPolicy::Lenient { max_errors } = policy {
+            if report.skipped == max_errors && max_errors > 0 {
+                eprintln!(
+                    "cali-query: {}: error budget exhausted ({} of {} allowed); \
+                     one more error would abort (exit 1)",
+                    report
+                        .path
+                        .as_deref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "<input>".into()),
+                    report.skipped,
+                    max_errors
+                );
+            }
         }
     }
     if files_with_errors > 0 {
@@ -128,6 +159,24 @@ fn report_skipped(reports: &[ReadReport]) -> bool {
         );
     }
     !total.is_clean()
+}
+
+/// Print each shard `--degrade` dropped, plus one combined line.
+/// Returns true when any shard was dropped — the result is partial and
+/// the caller exits 2. Failures are listed in ascending file order with
+/// deterministic messages, so degraded stderr is byte-identical across
+/// `--threads N` for a fixed fault seed.
+fn report_failures(failures: &[ShardFailure]) -> bool {
+    for f in failures {
+        eprintln!("cali-query: dropped shard: {}", f.error);
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "cali-query: partial result: {} input file(s) dropped after retries",
+            failures.len()
+        );
+    }
+    !failures.is_empty()
 }
 
 /// How `--stats` renders the metrics block.
@@ -169,7 +218,7 @@ fn report_overflow(result: &QueryResult, max_groups: Option<usize>) {
 fn main() -> ExitCode {
     let args = match parse_args(
         std::env::args().skip(1),
-        &["q", "query", "o", "output", "threads", "max-errors", "max-groups"],
+        &["q", "query", "o", "output", "threads", "max-errors", "max-groups", "faults"],
     ) {
         Ok(args) => args,
         Err(e) => {
@@ -181,6 +230,16 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    // Arm the fault registry before anything reads a file, so the
+    // --faults flag and the CALI_FAULTS environment variable behave
+    // identically.
+    if let Some(spec) = args.get(&["faults"]) {
+        if let Err(e) = caliper_faults::install_spec(spec) {
+            eprintln!("cali-query: --faults: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let degrade = args.has(&["degrade"]);
     let query = args.get(&["q", "query"]).unwrap_or("SELECT *");
     // --check: validate and exit without touching any snapshot data.
     // Works without input files too (schema-dependent checks are
@@ -287,7 +346,7 @@ fn main() -> ExitCode {
     let rendered = if listing {
         let ds = match read_files_reported(&args.positional, policy) {
             Ok((ds, reports)) => {
-                partial |= report_skipped(&reports);
+                partial |= report_skipped(&reports, policy);
                 ds
             }
             Err(e) => {
@@ -306,10 +365,12 @@ fn main() -> ExitCode {
         let options = ParallelOptions::with_threads(threads)
             .with_read_policy(policy)
             .with_max_groups(max_groups)
-            .with_pushdown(pushdown.clone());
+            .with_pushdown(pushdown.clone())
+            .with_degrade(degrade);
         match parallel_query_files(query, &args.positional, &options) {
             Ok((result, timings)) => {
-                partial |= report_skipped(&timings.reports);
+                partial |= report_skipped(&timings.reports, policy);
+                partial |= report_failures(&timings.failures);
                 report_overflow(&result, max_groups);
                 if args.has(&["timings"]) {
                     report_timings(&timings);
@@ -317,15 +378,17 @@ fn main() -> ExitCode {
                 result.render()
             }
             Err(ParallelQueryError::NotAnAggregation) => {
-                match query_files_streaming_opts(
+                match query_files_streaming_degrade(
                     query,
                     &args.positional,
                     policy,
                     max_groups,
                     pushdown.as_deref(),
+                    degrade,
                 ) {
-                    Ok((result, reports)) => {
-                        partial |= report_skipped(&reports);
+                    Ok((result, reports, failures)) => {
+                        partial |= report_skipped(&reports, policy);
+                        partial |= report_failures(&failures);
                         result.render()
                     }
                     Err(e) => {
@@ -343,15 +406,17 @@ fn main() -> ExitCode {
         // --threads 1: today's serial streaming path, one input file in
         // memory at a time (memory bounded by the largest file).
         let t0 = std::time::Instant::now();
-        match query_files_streaming_opts(
+        match query_files_streaming_degrade(
             query,
             &args.positional,
             policy,
             max_groups,
             pushdown.as_deref(),
+            degrade,
         ) {
-            Ok((result, reports)) => {
-                partial |= report_skipped(&reports);
+            Ok((result, reports, failures)) => {
+                partial |= report_skipped(&reports, policy);
+                partial |= report_failures(&failures);
                 report_overflow(&result, max_groups);
                 if args.has(&["timings"]) {
                     eprintln!("# serial read+process: {:.6} s", t0.elapsed().as_secs_f64());

@@ -12,7 +12,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cali_cli::{parallel_query, parse_args};
+use cali_cli::{parallel_query, parallel_query_resilient, parse_args};
+use mpisim::{FaultPlan, ResilienceOptions};
 
 const USAGE: &str = "usage: mpi-caliquery --np N [-q QUERY] [--timings] INPUT.cali...
 
@@ -25,11 +26,21 @@ Options:
                       default: \"AGGREGATE sum(sum#time.duration),
                       sum(aggregate.count) GROUP BY kernel\"
   --timings           print the per-phase timing breakdown
+  --faults SPEC       chaos testing: script simulated rank faults with
+                      the shared fault grammar, e.g.
+                      \"mpi.kill=at(2,0);mpi.delay=at(1,0,20)\" kills
+                      rank 2 at its first comm op and stalls rank 1 by
+                      20 ms; the run switches to the fault-tolerant
+                      reduction and reports which ranks' data the
+                      result covers (also read from CALI_FAULTS)
   -h, --help          show this help
+
+Exit codes: 0 success, 1 error, 2 success but the result is partial
+(injected faults lost some ranks' contributions).
 ";
 
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1), &["q", "query", "np"]) {
+    let args = match parse_args(std::env::args().skip(1), &["q", "query", "np", "faults"]) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("mpi-caliquery: {e}\n{USAGE}");
@@ -58,10 +69,49 @@ fn main() -> ExitCode {
         .get(&["q", "query"])
         .unwrap_or("AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel");
 
+    // Scripted rank faults: an explicit --faults spec wins, otherwise
+    // lift any mpi.* schedule from the process-wide CALI_FAULTS
+    // registry (which also arms the I/O failpoints on the read paths).
+    let plan = match args.get(&["faults"]) {
+        Some(spec) => match FaultPlan::from_spec(spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("mpi-caliquery: --faults: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultPlan::from_global(),
+    };
+
     // Round-robin file distribution, one subset per query process.
     let mut per_rank: Vec<Vec<PathBuf>> = vec![Vec::new(); np];
     for (i, path) in args.positional.iter().enumerate() {
         per_rank[i % np].push(PathBuf::from(path));
+    }
+
+    if !plan.is_empty() {
+        return match parallel_query_resilient(query, per_rank, plan, ResilienceOptions::default())
+        {
+            Ok((result, report)) => {
+                print!("{}", result.render());
+                if args.has(&["timings"]) {
+                    eprintln!("# timings unavailable under fault injection");
+                }
+                if report.lost.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!(
+                        "mpi-caliquery: partial result: covers ranks {:?}; lost ranks {:?}",
+                        report.included, report.lost
+                    );
+                    ExitCode::from(2)
+                }
+            }
+            Err(e) => {
+                eprintln!("mpi-caliquery: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     match parallel_query(query, per_rank) {

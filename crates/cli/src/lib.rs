@@ -74,30 +74,93 @@ pub fn query_files_streaming_opts<P: AsRef<std::path::Path>>(
     max_groups: Option<usize>,
     pushdown: Option<&Pushdown>,
 ) -> Result<(caliper_query::QueryResult, Vec<ReadReport>), Box<dyn std::error::Error>> {
+    query_files_streaming_degrade(query, paths, policy, max_groups, pushdown, false)
+        .map(|(result, reports, _)| (result, reports))
+}
+
+/// What [`query_files_streaming_degrade`] produces: the query result,
+/// one [`ReadReport`] per file that was actually read, and one
+/// [`caliper_query::ShardFailure`] per file that was dropped.
+pub type DegradedQueryOutcome = Result<
+    (
+        caliper_query::QueryResult,
+        Vec<ReadReport>,
+        Vec<caliper_query::ShardFailure>,
+    ),
+    Box<dyn std::error::Error>,
+>;
+
+/// [`query_files_streaming_opts`] with graceful degradation: when
+/// `degrade` is set, a file whose read fails terminally (retries
+/// exhausted) or whose `shard.merge` failpoint fires is *dropped* —
+/// recorded as a [`caliper_query::ShardFailure`] — instead of aborting
+/// the query. This mirrors [`caliper_query::ParallelOptions::degrade`]
+/// exactly: the same per-file-index fault decisions, the same surviving
+/// files merged in the same order, so a degraded serial run is
+/// byte-identical to a degraded `--threads N` run.
+pub fn query_files_streaming_degrade<P: AsRef<std::path::Path>>(
+    query: &str,
+    paths: &[P],
+    policy: ReadPolicy,
+    max_groups: Option<usize>,
+    pushdown: Option<&Pushdown>,
+    degrade: bool,
+) -> DegradedQueryOutcome {
     let spec = caliper_query::parse_query(query)?;
     if !spec.is_aggregation() {
         let (ds, reports) = read_files_reported(paths, policy)?;
-        return Ok((caliper_query::run_query(&ds, query)?, reports));
+        return Ok((caliper_query::run_query(&ds, query)?, reports, Vec::new()));
     }
     let mut reports = Vec::with_capacity(paths.len());
+    let mut failures = Vec::new();
     let mut acc: Option<caliper_query::Pipeline> = None;
-    for path in paths {
-        let (ds, report) = caliper_format::read_path_reported_filtered(path, policy, pushdown)?;
-        reports.push(report);
-        let mut pipeline =
-            caliper_query::Pipeline::new(spec.clone(), std::sync::Arc::clone(&ds.store))
-                .with_max_groups(max_groups);
-        pipeline.process_dataset(&ds);
-        match &mut acc {
-            Some(root) => root.merge(pipeline),
-            None => acc = Some(pipeline),
+    for (file, path) in paths.iter().enumerate() {
+        let path = path.as_ref();
+        let decoded = caliper_format::read_path_reported_filtered(path, policy, pushdown);
+        let fault = match &decoded {
+            // Fire the merge failpoint only after a successful read, so
+            // the per-key attempt counters advance exactly as on the
+            // parallel path (which never reaches the root merge for a
+            // file whose read failed).
+            Ok(_) => caliper_query::shard_merge_fault(file, path),
+            Err(_) => None,
+        };
+        let error = match (decoded, fault) {
+            (Ok((ds, report)), None) => {
+                reports.push(report);
+                let mut pipeline =
+                    caliper_query::Pipeline::new(spec.clone(), std::sync::Arc::clone(&ds.store))
+                        .with_max_groups(max_groups);
+                pipeline.process_dataset(&ds);
+                match &mut acc {
+                    Some(root) => root.merge(pipeline),
+                    None => acc = Some(pipeline),
+                }
+                continue;
+            }
+            (Ok((_, report)), Some(e)) => {
+                reports.push(report);
+                e
+            }
+            (Err(e), _) => e,
+        };
+        if !degrade {
+            return Err(error.into());
         }
+        caliper_data::metrics::global()
+            .counter("query.shards_failed")
+            .inc();
+        failures.push(caliper_query::ShardFailure {
+            file,
+            path: path.to_path_buf(),
+            error: error.to_string(),
+        });
     }
     let acc = acc.unwrap_or_else(|| {
         caliper_query::Pipeline::new(spec, std::sync::Arc::new(Default::default()))
             .with_max_groups(max_groups)
     });
-    Ok((acc.finish(), reports))
+    Ok((acc.finish(), reports, failures))
 }
 
 /// Read and merge multiple `.cali` (text) or `.calb` (binary) files

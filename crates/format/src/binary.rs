@@ -141,7 +141,10 @@ pub(crate) fn get_value(cursor: &mut Cursor<'_>, vtype: ValueType) -> Result<Val
         ValueType::UInt => Value::UInt(cursor.varint()?),
         ValueType::Float => {
             let bytes = cursor.take(8)?;
-            Value::Float(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+            let bytes = bytes
+                .try_into()
+                .map_err(|_| cursor.err("short float value"))?;
+            Value::Float(f64::from_le_bytes(bytes))
         }
         ValueType::Bool => Value::Bool(cursor.u8()? != 0),
     })

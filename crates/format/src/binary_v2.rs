@@ -358,7 +358,10 @@ fn skip_footer(cursor: &mut Cursor<'_>) -> Result<(), CaliError> {
     }
     let record_len = cursor.pos - start;
     let trail = cursor.take(8)?;
-    let framed_len = u32::from_le_bytes(trail[0..4].try_into().expect("4 bytes")) as usize;
+    let framed_len = trail[0..4]
+        .try_into()
+        .map(u32::from_le_bytes)
+        .map_err(|_| cursor.err("short footer trailer"))? as usize;
     if framed_len != record_len {
         return Err(cursor.err("footer length mismatch"));
     }
@@ -484,6 +487,40 @@ fn decode_block(
     Ok(Some(records))
 }
 
+/// Fire the `v2.block` failpoint for block `ordinal` of the stream the
+/// report is attributed to. Keys on the block ordinal (stable across
+/// runs and thread counts), so a `corrupt(...)` or `err(p, seed)` rule
+/// damages the *same* blocks no matter who decodes them. Returns an
+/// injected decode error, an optionally-corrupted copy of the payload,
+/// or `Ok(None)` to decode the original bytes (the armed-faults check
+/// is one atomic load, so the hot path stays copy-free).
+fn block_fault(
+    report: &ReadReport,
+    ordinal: u64,
+    payload: &[u8],
+) -> Result<Option<Vec<u8>>, CaliError> {
+    use caliper_faults::sites;
+    let Some(faults) = caliper_faults::global() else {
+        return Ok(None);
+    };
+    let label = match &report.path {
+        Some(p) => p.to_string_lossy().into_owned(),
+        None => String::new(),
+    };
+    if faults.trigger(sites::V2_BLOCK, ordinal, &label).is_some() {
+        return Err(CaliError::Parse {
+            line: ordinal as usize,
+            message: format!("injected fault at {} (block {ordinal})", sites::V2_BLOCK),
+        });
+    }
+    let mut owned = payload.to_vec();
+    if faults.mutate(sites::V2_BLOCK, ordinal, &label, &mut owned) {
+        Ok(Some(owned))
+    } else {
+        Ok(None)
+    }
+}
+
 /// Parse a v2 stream body (cursor positioned just past the version
 /// byte), appending into `ds` under `policy` with optional predicate
 /// pushdown. Called from [`crate::binary::read_binary_into_filtered`].
@@ -510,11 +547,18 @@ pub(crate) fn read_v2_body(
                     Err(e) => return lenient_stop(ds, policy, report, e),
                 };
                 report.blocks += 1;
-                let mut payload = Cursor {
-                    bytes: payload_bytes,
-                    pos: 0,
+                let ordinal = report.blocks - 1;
+                let decoded = match block_fault(report, ordinal, payload_bytes) {
+                    Err(e) => Err(e),
+                    Ok(faulted) => {
+                        let mut payload = Cursor {
+                            bytes: faulted.as_deref().unwrap_or(payload_bytes),
+                            pos: 0,
+                        };
+                        decode_block(&mut payload, &decoder, report, pushdown, &names)
+                    }
                 };
-                match decode_block(&mut payload, &decoder, report, pushdown, &names) {
+                match decoded {
                     Ok(Some(records)) => {
                         report.records += records.len() as u64;
                         ds.records.extend(records);
@@ -595,8 +639,10 @@ pub fn read_footer(bytes: &[u8]) -> Option<Vec<BlockInfo>> {
         return None;
     }
     let len_at = bytes.len() - 8;
-    let framed_len =
-        u32::from_le_bytes(bytes[len_at..len_at + 4].try_into().expect("4 bytes")) as usize;
+    let framed_len = bytes[len_at..len_at + 4]
+        .try_into()
+        .map(u32::from_le_bytes)
+        .ok()? as usize;
     let footer_start = len_at.checked_sub(framed_len)?;
     if footer_start < 5 || bytes[footer_start] != TAG_FOOTER {
         return None;

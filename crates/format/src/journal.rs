@@ -86,6 +86,9 @@ pub struct JournalCounters {
     pub forced_flushes: u64,
     /// `fsync` calls performed.
     pub syncs: u64,
+    /// Transient write/fsync errors absorbed by bounded retry
+    /// (mirrored as the `runtime.journal.retries` gauge).
+    pub retries: u64,
 }
 
 /// Appends snapshots to an append-only `.cali` journal file.
@@ -208,18 +211,47 @@ impl JournalWriter {
 
     /// Drain the buffered records to the file (and `fsync` if the
     /// policy asks for it). A no-op when nothing is buffered.
+    ///
+    /// Both the write-out and the `fsync` pass through the
+    /// `journal.write` / `journal.fsync` failpoints and retry transient
+    /// errors with bounded backoff ([`crate::retry`]); retries taken
+    /// are counted in [`JournalCounters::retries`]. A `write_all` that
+    /// fails mid-buffer may leave a torn partial flush in the file —
+    /// exactly the torn-tail shape recovery already handles — so the
+    /// buffer is retained and re-draining after a failed flush is safe:
+    /// recovery deduplicates the double-written span via [`SEQ_ATTR`].
     pub fn flush(&mut self) -> io::Result<()> {
-        let buf = self.writer.sink_mut();
-        if buf.is_empty() {
+        use crate::retry::{injected_error, RetryPolicy};
+        use caliper_faults::sites;
+
+        if self.writer.sink_mut().is_empty() {
             return Ok(());
         }
-        self.file.write_all(buf)?;
+        let label = self.path.to_string_lossy().into_owned();
+        let key = caliper_faults::stable_hash(&label);
+        let file = &mut self.file;
+        let buf = self.writer.sink_mut();
+        let (result, retries) = RetryPolicy::default().run(|| {
+            if caliper_faults::trigger(sites::JOURNAL_WRITE, key, &label).is_some() {
+                return Err(injected_error(sites::JOURNAL_WRITE));
+            }
+            file.write_all(buf)
+        });
+        self.counters.retries += u64::from(retries);
+        result?;
         buf.clear();
         self.counters.durable += self.pending;
         self.pending = 0;
         self.counters.flushes += 1;
         if self.policy.fsync {
-            self.file.sync_data()?;
+            let (result, retries) = RetryPolicy::default().run(|| {
+                if caliper_faults::trigger(sites::JOURNAL_FSYNC, key, &label).is_some() {
+                    return Err(injected_error(sites::JOURNAL_FSYNC));
+                }
+                file.sync_data()
+            });
+            self.counters.retries += u64::from(retries);
+            result?;
             self.counters.syncs += 1;
         }
         Ok(())

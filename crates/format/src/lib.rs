@@ -43,6 +43,7 @@ pub mod json;
 pub mod policy;
 pub mod pushdown;
 pub mod reader;
+pub mod retry;
 pub mod schema;
 pub mod table;
 

@@ -96,7 +96,7 @@ pub fn read_path_into_filtered(
     let path = path.as_ref();
     let attribute = |e: CaliError| e.with_path(path);
     let mut report = ReadReport::for_path(path);
-    let bytes = std::fs::read(path).map_err(|e| attribute(CaliError::Io(e)))?;
+    let bytes = read_bytes_with_faults(path).map_err(|e| attribute(CaliError::Io(e)))?;
     let ds = if bytes.starts_with(binary::MAGIC) {
         binary::read_binary_into_filtered(&bytes, ds, policy, &mut report, pushdown)
             .map_err(attribute)?
@@ -109,6 +109,41 @@ pub fn read_path_into_filtered(
     };
     record_read_metrics(bytes.len() as u64, &report);
     Ok((ds, report))
+}
+
+/// Read a file's bytes through the `io.open` / `io.read` failpoints
+/// with bounded-backoff retry on transient errors.
+///
+/// Fault decisions key on the hashed path (stable across runs and
+/// thread counts) with a per-path attempt counter, so a `fail(n)` spec
+/// makes the first `n` attempts on each file fail and an `err(p, seed)`
+/// spec fails a reproducible subset of (file, attempt) pairs. Retries
+/// taken are published as `format.reader.retries` — a function of the
+/// spec and the file set alone, so the metric stays stable across
+/// `--threads`.
+fn read_bytes_with_faults(path: &Path) -> std::io::Result<Vec<u8>> {
+    use crate::retry::{injected_error, RetryPolicy};
+    use caliper_faults::sites;
+
+    let label = path.to_string_lossy();
+    let key = caliper_faults::stable_hash(&label);
+    let (result, retries) = RetryPolicy::default().run(|| {
+        if caliper_faults::trigger(sites::IO_OPEN, key, &label).is_some() {
+            return Err(injected_error(sites::IO_OPEN));
+        }
+        let mut bytes = std::fs::read(path)?;
+        if caliper_faults::trigger(sites::IO_READ, key, &label).is_some() {
+            return Err(injected_error(sites::IO_READ));
+        }
+        caliper_faults::mutate(sites::IO_READ, key, &label, &mut bytes);
+        Ok(bytes)
+    });
+    if retries > 0 {
+        caliper_data::metrics::global()
+            .counter("format.reader.retries")
+            .add(u64::from(retries));
+    }
+    result
 }
 
 /// Fold one file's read outcome into the global `format.reader.*`

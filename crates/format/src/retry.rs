@@ -1,0 +1,159 @@
+//! Bounded exponential-backoff retry for transient I/O errors.
+//!
+//! Transient failures — `EINTR`, timeouts, injected faults from
+//! [`caliper_faults`] — are the normal case at scale (see the Recorder
+//! tracing paper in PAPERS.md), and aborting a whole aggregation because
+//! one `read` hiccuped is the wrong trade. This module gives the format
+//! reader and the journal writer one shared, bounded retry discipline:
+//!
+//! * only [`is_transient`] error kinds are retried — corrupt data,
+//!   missing files, and permission errors fail immediately;
+//! * backoff doubles from [`RetryPolicy::base_delay`] up to
+//!   [`RetryPolicy::max_delay`], so a genuinely stuck resource fails in
+//!   bounded time;
+//! * the number of retries taken is reported back so call sites can
+//!   publish it (`format.reader.retries`, `runtime.journal.retries`).
+//!
+//! Injected faults surface as [`std::io::ErrorKind::Interrupted`], so a
+//! `CALI_FAULTS="io.read=fail(2)"` spec exercises exactly this loop.
+
+use std::io;
+use std::time::Duration;
+
+/// True for error kinds worth retrying: the operation may succeed if
+/// simply attempted again.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+/// A bounded exponential-backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retrying.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with 1 ms / 2 ms / 4 ms backoff — enough to ride
+    /// out `EINTR`-class transients without stalling a failed shard for
+    /// a human-visible time.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (strict one-shot semantics).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Run `op` under this policy. Retries only [`is_transient`] errors,
+    /// sleeping with doubling backoff between attempts. Returns the
+    /// final result and the number of retries taken (0 = first try
+    /// succeeded or failed non-transiently).
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u32) {
+        let mut delay = self.base_delay;
+        let mut retries = 0;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) if is_transient(&e) && retries + 1 < self.max_attempts.max(1) => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    delay = (delay * 2).min(self.max_delay);
+                    retries += 1;
+                }
+                Err(e) => return (Err(e), retries),
+            }
+        }
+    }
+}
+
+/// The `io::Error` used for injected transient faults; recognized by
+/// [`is_transient`].
+pub fn injected_error(site: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Interrupted,
+        format!("injected fault at {site}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let mut calls = 0;
+        let (res, retries) = fast().run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(injected_error("t"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(res.unwrap(), 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn exhausts_after_max_attempts() {
+        let mut calls = 0;
+        let (res, retries) = fast().run(|| -> io::Result<()> {
+            calls += 1;
+            Err(injected_error("t"))
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 4);
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn non_transient_fails_immediately() {
+        let mut calls = 0;
+        let (res, retries) = fast().run(|| -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn none_policy_is_one_shot() {
+        let mut calls = 0;
+        let (res, retries) = RetryPolicy::none().run(|| -> io::Result<()> {
+            calls += 1;
+            Err(injected_error("t"))
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(retries, 0);
+    }
+}

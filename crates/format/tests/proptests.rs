@@ -313,3 +313,144 @@ proptest! {
         prop_assert_eq!(parsed, s);
     }
 }
+
+/// A dataset whose records are uniquely identifiable: record `i`
+/// carries `row=i`, so a decode's surviving records name exactly which
+/// source rows they came from.
+fn numbered_dataset(records: usize) -> Dataset {
+    let mut ds = Dataset::new();
+    let kernel = ds.attribute("kernel", ValueType::Str, Properties::NESTED);
+    let row = ds.attribute("row", ValueType::Int, Properties::AS_VALUE);
+    for i in 0..records {
+        let node = ds.tree.get_child(
+            NODE_NONE,
+            kernel.id(),
+            &Value::str(["alpha", "beta", "gamma"][i % 3]),
+        );
+        let mut rec = SnapshotRecord::new();
+        rec.push_node(node);
+        rec.push_imm(row.id(), Value::Int(i as i64));
+        ds.push(rec);
+    }
+    ds
+}
+
+/// Record lines in decode order (not sorted): positional reasoning
+/// about block boundaries needs the stream order preserved.
+fn ordered_lines(ds: &Dataset) -> Vec<String> {
+    ds.flat_records().map(|r| r.describe(&ds.store)).collect()
+}
+
+/// The byte range of block `ordinal`'s payload (past the tag and the
+/// length varint), located through the footer index.
+fn block_payload_range(bytes: &[u8], ordinal: usize) -> std::ops::Range<usize> {
+    let index = caliper_format::read_footer(bytes).expect("v2 stream has a footer");
+    let mut pos = index[ordinal].offset as usize + 1; // past TAG_BLOCK
+    let mut len = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = bytes[pos];
+        pos += 1;
+        len |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    pos..pos + len as usize
+}
+
+proptest! {
+    /// Chaos invariant (blast-radius containment): corrupting bytes
+    /// inside ONE v2 block's payload loses at most that block. Lenient
+    /// decode must resync at the next length frame, so every record of
+    /// every other block survives byte-for-byte; the damaged block
+    /// contributes a (possibly altered or empty) middle no larger than
+    /// its row count. When the decoder *detects* the damage
+    /// (`report.skipped > 0`) the loss is exact: the middle is empty
+    /// and precisely the corrupted block's records are gone.
+    #[test]
+    fn v2_single_block_corruption_loses_at_most_that_block(
+        records in 6usize..40,
+        block_records in 2usize..6,
+        ordinal_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ds = numbered_dataset(records);
+        let bytes = caliper_format::to_binary_v2_with(
+            &ds,
+            &V2WriteOptions { block_records, footer: true },
+        );
+        let clean = ordered_lines(&caliper_format::binary::from_binary(&bytes).unwrap());
+        let blocks = records.div_ceil(block_records);
+        let ordinal = (ordinal_seed % blocks as u64) as usize;
+        let start_row = ordinal * block_records;
+        let end_row = (start_row + block_records).min(records);
+
+        // Seeded damage confined to the chosen block's payload.
+        let range = block_payload_range(&bytes, ordinal);
+        let mut corrupt = bytes.clone();
+        let mut payload = corrupt[range.clone()].to_vec();
+        caliper_faults::corrupt_bytes(caliper_faults::CorruptMode::Bitflip, seed, &mut payload);
+        corrupt[range].copy_from_slice(&payload);
+
+        let (back, report) = caliper_format::binary::from_binary_with(
+            &corrupt,
+            ReadPolicy::lenient(),
+        ).unwrap();
+        let got = ordered_lines(&back);
+
+        // Blocks before the damaged one decode first and unchanged ...
+        prop_assert!(got.len() >= start_row, "lost records before the damaged block");
+        prop_assert_eq!(&got[..start_row], &clean[..start_row]);
+        // ... blocks after it survive the resync unchanged ...
+        let tail = clean.len() - end_row;
+        prop_assert!(got.len() <= clean.len());
+        prop_assert_eq!(&got[got.len() - tail..], &clean[end_row..]);
+        // ... and the damaged block's middle never grows.
+        let middle = got.len() - start_row - tail;
+        prop_assert!(middle <= end_row - start_row, "damaged block grew");
+        prop_assert!(!report.truncated, "payload damage must resync, not truncate");
+        if report.skipped > 0 {
+            // Detected corruption drops exactly the damaged block.
+            prop_assert_eq!(report.skipped, 1);
+            prop_assert_eq!(middle, 0, "skipped block left records behind");
+        }
+    }
+}
+
+/// Deterministic companion to the proptest: damage that is *always*
+/// detected (an absurd row-count varint) loses exactly the damaged
+/// block, for every block ordinal.
+#[test]
+fn v2_detected_corruption_loses_exactly_the_damaged_block() {
+    let records = 23;
+    let ds = numbered_dataset(records);
+    let bytes = caliper_format::to_binary_v2_with(
+        &ds,
+        &V2WriteOptions {
+            block_records: 4,
+            footer: true,
+        },
+    );
+    let clean = ordered_lines(&caliper_format::binary::from_binary(&bytes).unwrap());
+    let blocks = caliper_format::read_footer(&bytes).unwrap().len();
+    for ordinal in 0..blocks {
+        let range = block_payload_range(&bytes, ordinal);
+        let mut corrupt = bytes.clone();
+        corrupt[range.start] = 0xff; // row count becomes a torn varint
+        let (back, report) =
+            caliper_format::binary::from_binary_with(&corrupt, ReadPolicy::lenient()).unwrap();
+        let got = ordered_lines(&back);
+        let mut expected = clean.clone();
+        let start = ordinal * 4;
+        let end = (start + 4).min(records);
+        expected.drain(start..end);
+        assert_eq!(got, expected, "block {ordinal}");
+        assert_eq!(report.skipped, 1, "block {ordinal}");
+        assert!(
+            caliper_format::binary::from_binary(&corrupt).is_err(),
+            "strict must reject block {ordinal}"
+        );
+    }
+}

@@ -20,8 +20,17 @@
 //!
 //! Plans are executed by [`crate::world::run_with_faults`]; the plain
 //! [`crate::world::run`] never injects anything.
+//!
+//! Plans share the workspace fault-spec grammar (`caliper-faults`):
+//! [`FaultPlan::from_spec`] lifts `mpi.kill=at(rank,op)` and
+//! `mpi.delay=at(rank,op,ms)` rules from a spec string, and
+//! [`FaultPlan::from_global`] from the process-wide `CALI_FAULTS`
+//! registry, so one `CALI_FAULTS` setting can script I/O faults and
+//! simulated rank deaths together.
 
 use std::time::Duration;
+
+use caliper_faults::{sites, FaultAction, FaultRule, SpecError};
 
 /// Scripted faults for one simulated world run.
 ///
@@ -47,6 +56,51 @@ impl FaultPlan {
     /// An empty plan: no faults.
     pub fn new() -> FaultPlan {
         FaultPlan::default()
+    }
+
+    /// Build a plan from a `caliper-faults` spec string, lifting the
+    /// `at(...)` schedules armed on the [`sites::MPI_KILL`] and
+    /// [`sites::MPI_DELAY`] sites:
+    ///
+    /// ```
+    /// use mpisim::FaultPlan;
+    ///
+    /// let plan = FaultPlan::from_spec("mpi.kill=at(2,0);mpi.delay=at(1,0,20)").unwrap();
+    /// assert!(plan.has_kills());
+    /// ```
+    ///
+    /// Rules on other sites are ignored here (they arm I/O failpoints
+    /// elsewhere in the workspace). A kill rule's optional third
+    /// argument is ignored; a delay rule without one delays by 0 ms.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, SpecError> {
+        let set = caliper_faults::FaultSet::parse(spec)?;
+        Ok(FaultPlan::from_rules(set.rules()))
+    }
+
+    /// Build a plan from the process-global `CALI_FAULTS` registry.
+    /// Empty when no spec is installed or it schedules no MPI faults.
+    pub fn from_global() -> FaultPlan {
+        match caliper_faults::global() {
+            Some(set) => FaultPlan::from_rules(set.rules()),
+            None => FaultPlan::new(),
+        }
+    }
+
+    fn from_rules(rules: &[FaultRule]) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for rule in rules {
+            let FaultAction::At { rank, op, delay_ms } = rule.action else {
+                continue;
+            };
+            match rule.site.as_str() {
+                sites::MPI_KILL => plan = plan.kill(rank, op),
+                sites::MPI_DELAY => {
+                    plan = plan.delay(rank, op, Duration::from_millis(delay_ms.unwrap_or(0)));
+                }
+                _ => {}
+            }
+        }
+        plan
     }
 
     /// Kill `rank` when it reaches communication operation `at_op`
@@ -92,3 +146,30 @@ impl FaultPlan {
 /// launcher downcasts for it to tell an injected kill (expected, maps to
 /// `None`) from a genuine bug in rank code (propagated).
 pub(crate) struct RankKilled;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_spec_lifts_mpi_sites() {
+        let plan =
+            FaultPlan::from_spec("mpi.kill=at(2,0);mpi.delay=at(1,3,40);io.read=fail(1)").unwrap();
+        assert!(plan.has_kills());
+        assert!(plan.kill_at(2, 0));
+        assert!(!plan.kill_at(1, 3));
+        assert_eq!(plan.delay_at(1, 3), Some(Duration::from_millis(40)));
+        assert_eq!(plan.delay_at(2, 0), None);
+    }
+
+    #[test]
+    fn from_spec_ignores_non_mpi_rules() {
+        let plan = FaultPlan::from_spec("io.read=err(0.5);v2.block=corrupt(bitflip)").unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn from_spec_rejects_bad_grammar() {
+        assert!(FaultPlan::from_spec("mpi.kill=at(x,0)").is_err());
+    }
+}

@@ -108,6 +108,13 @@ pub struct ParallelOptions {
     /// [`build_pushdown`]); pass an explicit (possibly schema-aware)
     /// one to share the exact same instance with a serial path.
     pub pushdown: Option<Arc<Pushdown>>,
+    /// Graceful degradation: when a file's shard fails terminally (its
+    /// read exhausted the transient-error retries, or the `shard.merge`
+    /// failpoint fired), drop that file's contribution and record a
+    /// [`ShardFailure`] instead of aborting the whole query. Failures
+    /// are decided per *file index*, so degraded output is byte-identical
+    /// across thread counts.
+    pub degrade: bool,
 }
 
 impl Default for ParallelOptions {
@@ -118,6 +125,7 @@ impl Default for ParallelOptions {
             read_policy: ReadPolicy::Strict,
             max_groups: None,
             pushdown: None,
+            degrade: false,
         }
     }
 }
@@ -147,6 +155,13 @@ impl ParallelOptions {
     /// [`ParallelOptions::pushdown`]).
     pub fn with_pushdown(mut self, pushdown: Option<Arc<Pushdown>>) -> Self {
         self.pushdown = pushdown;
+        self
+    }
+
+    /// Builder-style graceful-degradation override (see
+    /// [`ParallelOptions::degrade`]).
+    pub fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
         self
     }
 
@@ -214,6 +229,19 @@ pub struct WorkerTimings {
     pub records: u64,
 }
 
+/// One file's shard dropped from a degraded run
+/// ([`ParallelOptions::degrade`]).
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Input-file index of the dropped shard.
+    pub file: usize,
+    /// Path of the dropped file.
+    pub path: PathBuf,
+    /// Why the shard failed (retry-exhausted read error or injected
+    /// merge fault), as reported to the user.
+    pub error: String,
+}
+
 /// Timing breakdown of one parallel query run, plus the per-file read
 /// reports (what lenient ingest skipped).
 #[derive(Debug, Clone, Default)]
@@ -227,6 +255,11 @@ pub struct ShardTimings {
     /// Per-file [`ReadReport`]s in input-file order (one per file that
     /// was read; under [`ReadPolicy::Strict`] these are all clean).
     pub reports: Vec<ReadReport>,
+    /// Shards dropped under [`ParallelOptions::degrade`], in ascending
+    /// file order (empty when the run was complete). A non-empty list
+    /// means the result is partial — `cali-query` reports each failure
+    /// on stderr and exits 2.
+    pub failures: Vec<ShardFailure>,
 }
 
 impl ShardTimings {
@@ -411,8 +444,13 @@ pub fn parallel_query_files<P: AsRef<Path>>(
         reports.sort_by_key(|(file, _)| *file);
         timings.reports = reports.into_iter().map(|(_, r)| r).collect();
 
-        // Deterministic root fold: ascending unit order, first error (in
-        // unit order) wins.
+        // Deterministic root fold: ascending unit order. Without
+        // degrade, the first error (in unit order) wins; with degrade, a
+        // failed file drops *all* of its partials, is recorded as a
+        // [`ShardFailure`], and the fold continues. Both the fold order
+        // and the failure set depend only on the file list and the fault
+        // spec — never on scheduling — so output stays byte-identical
+        // across thread counts either way.
         partials.sort_by_key(|(file, batch, _)| (*file, *batch));
         let metrics = caliper_data::metrics::global();
         metrics
@@ -424,14 +462,47 @@ pub fn parallel_query_files<P: AsRef<Path>>(
         let merge_timer = metrics.timer("query.parallel.merge");
         let t0 = Instant::now();
         let mut root: Option<Pipeline> = None;
-        for (_, _, partial) in partials {
-            let shard = partial.map_err(ParallelQueryError::Read)?;
-            match &mut root {
-                Some(root) => {
-                    let _scope = merge_timer.start();
-                    root.merge(shard);
+        let mut last_file: Option<usize> = None;
+        for (file, _, partial) in partials {
+            let first_of_file = last_file != Some(file);
+            last_file = Some(file);
+            if let Some(failed) = timings.failures.last() {
+                if failed.file == file {
+                    continue; // a sibling batch of an already-failed file
                 }
-                None => root = Some(shard),
+            }
+            let path = paths[file].as_ref();
+            let fault = if first_of_file {
+                shard_merge_fault(file, path)
+            } else {
+                None
+            };
+            let failure = match (fault, partial) {
+                (Some(e), _) | (None, Err(e)) => Some(e),
+                (None, Ok(shard)) => {
+                    match &mut root {
+                        Some(root) => {
+                            let _scope = merge_timer.start();
+                            root.merge(shard);
+                        }
+                        None => root = Some(shard),
+                    }
+                    None
+                }
+            };
+            if let Some(e) = failure {
+                if !options.degrade {
+                    return Err(ParallelQueryError::Read(e));
+                }
+                // Stable (not `.parallel.`-scoped): the serial path
+                // bumps the same counter, so degraded `--stats` output
+                // matches across `--threads 1/2/4`.
+                metrics.counter("query.shards_failed").inc();
+                timings.failures.push(ShardFailure {
+                    file,
+                    path: path.to_path_buf(),
+                    error: e.to_string(),
+                });
             }
         }
         timings.merge_s = t0.elapsed().as_secs_f64();
@@ -447,6 +518,21 @@ pub fn parallel_query_files<P: AsRef<Path>>(
         let result = root.finish();
         timings.finish_s = t0.elapsed().as_secs_f64();
         Ok((result, timings))
+    })
+}
+
+/// Fire the `shard.merge` failpoint for input file `file`. Keyed on the
+/// file index with the path as the filter label, so a spec drops the
+/// same files' shards on every run, on every thread count, and on the
+/// serial path (`cali-cli` calls this per file before merging its
+/// pipeline). Returns the injected error to attribute to the shard.
+pub fn shard_merge_fault(file: usize, path: &Path) -> Option<CaliError> {
+    let label = path.to_string_lossy();
+    caliper_faults::trigger(caliper_faults::sites::SHARD_MERGE, file as u64, &label).map(|_| {
+        CaliError::Io(caliper_format::retry::injected_error(
+            caliper_faults::sites::SHARD_MERGE,
+        ))
+        .with_path(path)
     })
 }
 

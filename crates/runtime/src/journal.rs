@@ -141,6 +141,9 @@ pub struct JournalStats {
     pub forced_flushes: u64,
     /// `fsync` calls performed.
     pub syncs: u64,
+    /// Transient write/fsync errors absorbed by bounded retry
+    /// ([`caliper_format::retry`]).
+    pub retries: u64,
     /// Next sequence number to be assigned.
     pub next_seq: u64,
     /// Write errors observed (the sink disables itself on the first).
@@ -239,6 +242,24 @@ impl JournalSink {
         else {
             return;
         };
+        // The `runtime.append` failpoint, keyed by journal path: an
+        // injected error takes the same road as a real one — through
+        // `disable`, never a panic into the measured application.
+        let label = self.path.to_string_lossy();
+        if caliper_faults::trigger(
+            caliper_faults::sites::RUNTIME_APPEND,
+            caliper_faults::stable_hash(&label),
+            &label,
+        )
+        .is_some()
+        {
+            let e = std::io::Error::other(format!(
+                "injected fault at {}",
+                caliper_faults::sites::RUNTIME_APPEND
+            ));
+            self.disable(&mut inner, e);
+            return;
+        }
         let mut stamped = record.clone();
         stamped.push_imm(self.seq_attr.id(), Value::UInt(*next_seq));
         match writer.append_snapshot(ctx, &stamped) {
@@ -312,6 +333,7 @@ impl JournalSink {
             flushes: counters.flushes,
             forced_flushes: counters.forced_flushes,
             syncs: counters.syncs,
+            retries: counters.retries,
             next_seq: inner.next_seq,
             write_errors: inner.write_errors,
             disabled: self.disabled.load(Ordering::Relaxed),

@@ -195,6 +195,7 @@ fn sample_journal_stats(metrics: &MetricsRegistry, stats: &crate::journal::Journ
         .gauge("runtime.journal.forced_flushes")
         .set(stats.forced_flushes);
     metrics.gauge("runtime.journal.syncs").set(stats.syncs);
+    metrics.gauge("runtime.journal.retries").set(stats.retries);
     metrics
         .gauge("runtime.journal.write_errors")
         .set(stats.write_errors);
@@ -335,10 +336,28 @@ impl Caliper {
     }
 
     /// Intern an attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already interned with a different type or
+    /// properties — a programming error in the instrumented code. Use
+    /// [`Caliper::try_attribute`] to handle the conflict instead.
     pub fn attribute(&self, name: &str, vtype: ValueType, props: Properties) -> Attribute {
-        self.store
-            .create(name, vtype, props)
-            .expect("attribute type conflict")
+        match self.try_attribute(name, vtype, props) {
+            Ok(attr) => attr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Intern an attribute, reporting a type/properties conflict with
+    /// an earlier interning instead of panicking.
+    pub fn try_attribute(
+        &self,
+        name: &str,
+        vtype: ValueType,
+        props: Properties,
+    ) -> Result<Attribute, caliper_data::AttributeConflict> {
+        self.store.create(name, vtype, props)
     }
 
     /// Intern a nested (begin/end) string attribute — the common case

@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use caliper_data::{
-    AttrId, Attribute, AttributeStore, ContextTree, Entry, Properties, SnapshotRecord, Value,
-    ValueType,
+    AttrId, Attribute, AttributeConflict, AttributeStore, ContextTree, Entry, Properties,
+    SnapshotRecord, Value, ValueType,
 };
 use caliper_format::Dataset;
 use caliper_query::{AggregationSpec, Aggregator};
@@ -107,33 +107,41 @@ impl TimerService {
     pub const OFFSET_ATTR: &'static str = "time.offset";
 
     /// Create the timer service, interning its output attribute.
-    pub fn new(store: &AttributeStore) -> TimerService {
+    /// Fails when an output attribute already exists with a conflicting
+    /// type — the caller (thread-scope setup) skips the service with a
+    /// note instead of panicking inside the measured application.
+    pub fn new(store: &AttributeStore) -> Result<TimerService, AttributeConflict> {
         TimerService::with_options(store, false, false)
     }
 
     /// Create the timer with optional inclusive-duration tracking and
-    /// per-snapshot timestamps.
-    pub fn with_options(store: &AttributeStore, inclusive: bool, offset: bool) -> TimerService {
+    /// per-snapshot timestamps (see [`TimerService::new`] for the
+    /// conflict contract).
+    pub fn with_options(
+        store: &AttributeStore,
+        inclusive: bool,
+        offset: bool,
+    ) -> Result<TimerService, AttributeConflict> {
         let props = Properties::AS_VALUE | Properties::AGGREGATABLE;
-        let attr = store
-            .create(Self::DURATION_ATTR, ValueType::Float, props)
-            .expect("time.duration type conflict");
-        TimerService {
+        let attr = store.create(Self::DURATION_ATTR, ValueType::Float, props)?;
+        let inclusive = match inclusive {
+            true => Some(InclusiveTimer {
+                attr: store.create(Self::INCLUSIVE_ATTR, ValueType::Float, props)?,
+                begin_stacks: Default::default(),
+            }),
+            false => None,
+        };
+        let offset_attr = match offset {
+            true => Some(store.create(Self::OFFSET_ATTR, ValueType::Float, Properties::AS_VALUE)?),
+            false => None,
+        };
+        Ok(TimerService {
             attr,
             last_ns: 0,
             started: false,
-            inclusive: inclusive.then(|| InclusiveTimer {
-                attr: store
-                    .create(Self::INCLUSIVE_ATTR, ValueType::Float, props)
-                    .expect("time.inclusive.duration type conflict"),
-                begin_stacks: Default::default(),
-            }),
-            offset_attr: offset.then(|| {
-                store
-                    .create(Self::OFFSET_ATTR, ValueType::Float, Properties::AS_VALUE)
-                    .expect("time.offset type conflict")
-            }),
-        }
+            inclusive,
+            offset_attr,
+        })
     }
 }
 
@@ -358,21 +366,22 @@ pub struct CountersService {
 }
 
 impl CountersService {
-    /// Create the service, interning its output attributes.
-    pub fn new(store: &AttributeStore, ghz: f64, ipc: f64) -> CountersService {
+    /// Create the service, interning its output attributes. Fails on an
+    /// attribute type conflict (see [`TimerService::new`]).
+    pub fn new(
+        store: &AttributeStore,
+        ghz: f64,
+        ipc: f64,
+    ) -> Result<CountersService, AttributeConflict> {
         let props = Properties::AS_VALUE | Properties::AGGREGATABLE;
-        CountersService {
-            instructions: store
-                .create("cpu.instructions", ValueType::UInt, props)
-                .expect("cpu.instructions type conflict"),
-            cycles: store
-                .create("cpu.cycles", ValueType::UInt, props)
-                .expect("cpu.cycles type conflict"),
+        Ok(CountersService {
+            instructions: store.create("cpu.instructions", ValueType::UInt, props)?,
+            cycles: store.create("cpu.cycles", ValueType::UInt, props)?,
             ghz,
             ipc,
             last_ns: 0,
             started: false,
-        }
+        })
     }
 }
 
@@ -417,7 +426,7 @@ mod tests {
         let store = AttributeStore::new();
         let tree = ContextTree::new();
         let clock = Clock::virtual_clock();
-        let mut timer = TimerService::new(&store);
+        let mut timer = TimerService::new(&store).unwrap();
         let c = ctx(&store, &tree, &clock);
 
         let mut rec = SnapshotRecord::new();
@@ -438,7 +447,7 @@ mod tests {
         let store = AttributeStore::new();
         let tree = ContextTree::new();
         let clock = Clock::virtual_clock();
-        let mut timer = TimerService::with_options(&store, true, true);
+        let mut timer = TimerService::with_options(&store, true, true).unwrap();
         let func = store.create_simple("function", ValueType::Str);
 
         let snap = |timer: &mut TimerService, trigger: Trigger, clock: &Clock| {
@@ -548,7 +557,7 @@ mod tests {
         let store = AttributeStore::new();
         let tree = ContextTree::new();
         let clock = Clock::virtual_clock();
-        let mut counters = CountersService::new(&store, 2.0, 1.5);
+        let mut counters = CountersService::new(&store, 2.0, 1.5).unwrap();
         let c = ctx(&store, &tree, &clock);
 
         let mut rec = SnapshotRecord::new();

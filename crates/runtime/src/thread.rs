@@ -56,12 +56,17 @@ impl ChannelScope {
 
         // Augmenting services (timer, counters) must run before the
         // consuming services, so they are registered first.
+        // A measurement service whose output attribute collides with an
+        // application attribute of a different type is skipped with a
+        // note — thread setup must never panic on user input (same
+        // contract as the aggregate service below).
         if config.service_enabled("timer") {
             let inclusive = config.get_bool("timer.inclusive", false);
             let offset = config.get_bool("timer.offset", false);
-            services.push(Box::new(TimerService::with_options(
-                &store, inclusive, offset,
-            )));
+            match TimerService::with_options(&store, inclusive, offset) {
+                Ok(timer) => services.push(Box::new(timer)),
+                Err(e) => eprintln!("caliper: timer service disabled: {e}"),
+            }
         }
         if config.service_enabled("counters") {
             let ghz = config
@@ -72,7 +77,10 @@ impl ChannelScope {
                 .get("counters.ipc")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1.6);
-            services.push(Box::new(CountersService::new(&store, ghz, ipc)));
+            match CountersService::new(&store, ghz, ipc) {
+                Ok(counters) => services.push(Box::new(counters)),
+                Err(e) => eprintln!("caliper: counters service disabled: {e}"),
+            }
         }
         if config.service_enabled("aggregate") {
             let key = config.get_list("aggregate.key");

@@ -185,4 +185,68 @@ cmp -s "$smoke/pq-v2-1.stats" "$smoke/pq-v2-2.stats" && cmp -s "$smoke/pq-v2-1.s
     exit 1
 }
 echo "check.sh: columnar smoke: v1/v2 outputs identical, $(sed -n 's/^format.reader.blocks_skipped=//p' "$smoke/pq-v2-1.stats") blocks skipped"
+
+# Chaos smoke: a typo'd fault spec must be a hard error, transient
+# injected faults must be absorbed by retry, a degraded run must be
+# byte-identical across --threads and equal a clean run over the
+# surviving files, and a seed-mutated corpus must never panic a reader
+# (full matrix in crates/cli/tests/chaos.rs; model in docs/CHAOS.md).
+for i in 0 1 2; do
+    { printf '__rec=attr,id=0,name=kernel,type=string,prop=default\n'
+      printf '__rec=ctx,attr=0,data=k%s\n__rec=ctx,attr=0,data=k%s\n' "$i" "$i"
+    } > "$smoke/chaos-in$i.cali"
+done
+cq="AGGREGATE count GROUP BY kernel ORDER BY kernel"
+if "$query" --faults "io.read=fail(" -q "$cq" "$smoke/chaos-in0.cali" >/dev/null 2>&1; then
+    echo "check.sh: malformed --faults spec was not a hard error" >&2
+    exit 1
+fi
+"$query" -q "$cq" "$smoke"/chaos-in*.cali > "$smoke/chaos-clean.out" 2>/dev/null
+"$query" --faults "io.read=fail(2)" -q "$cq" "$smoke"/chaos-in*.cali \
+    > "$smoke/chaos-retry.out" 2>/dev/null
+cmp -s "$smoke/chaos-clean.out" "$smoke/chaos-retry.out" || {
+    echo "check.sh: run with retried transient faults differs from the clean run" >&2
+    exit 1
+}
+"$query" -q "$cq" "$smoke/chaos-in0.cali" "$smoke/chaos-in2.cali" \
+    > "$smoke/chaos-survivors.out" 2>/dev/null
+for n in 1 2 4; do
+    rc=0
+    "$query" --threads "$n" --degrade --faults "io.read~chaos-in1=fail(9)" \
+        -q "$cq" "$smoke"/chaos-in*.cali \
+        > "$smoke/chaos-deg-$n.out" 2> "$smoke/chaos-deg-$n.err" || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "check.sh: degraded chaos run exited $rc, expected 2 (--threads $n)" >&2
+        exit 1
+    fi
+done
+cmp -s "$smoke/chaos-deg-1.out" "$smoke/chaos-deg-2.out" \
+    && cmp -s "$smoke/chaos-deg-1.out" "$smoke/chaos-deg-4.out" \
+    && cmp -s "$smoke/chaos-deg-1.err" "$smoke/chaos-deg-2.err" \
+    && cmp -s "$smoke/chaos-deg-1.err" "$smoke/chaos-deg-4.err" || {
+    echo "check.sh: degraded chaos output differs across --threads" >&2
+    exit 1
+}
+cmp -s "$smoke/chaos-deg-1.out" "$smoke/chaos-survivors.out" || {
+    echo "check.sh: degraded result differs from a clean run over the survivors" >&2
+    exit 1
+}
+"$pack" -o "$smoke/chaos.calb2" --block-records 2 "$smoke"/chaos-in*.cali 2>/dev/null
+for seed in 1 2 3; do
+    for victim in chaos-in1.cali chaos.calb2; do
+        cp "$smoke/$victim" "$smoke/fuzz-$victim"
+        "$pack" --mutate bitflip --seed "$seed" "$smoke/fuzz-$victim" 2>/dev/null
+        for flags in "strict" "--lenient --degrade"; do
+            if [ "$flags" = "strict" ]; then flags=""; fi
+            rc=0
+            "$query" $flags -q "$cq" "$smoke/fuzz-$victim" \
+                >/dev/null 2>"$smoke/fuzz.err" || rc=$?
+            if [ "$rc" -gt 2 ] || grep -q "panicked" "$smoke/fuzz.err"; then
+                echo "check.sh: fuzzed read of $victim (seed $seed) panicked or crashed" >&2
+                exit 1
+            fi
+        done
+    done
+done
+echo "check.sh: chaos smoke: deterministic degraded reads, fuzzed corpus never panics"
 echo "check.sh: all gates passed"
