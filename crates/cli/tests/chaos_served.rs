@@ -1,0 +1,384 @@
+//! Black-box chaos suite for `cali-served` (docs/SERVED.md §runbook,
+//! docs/CHAOS.md): the daemon is started as a real child process and
+//! abused over its real sockets, under deterministic `--faults` specs.
+//!
+//! Invariants:
+//!
+//! * an injected worker kill mid-batch loses nothing: the supervisor
+//!   restarts the worker, the batch is redelivered, and the final query
+//!   result is byte-identical to a fault-free run;
+//! * `kill -9` + restart reproduces every acknowledged batch
+//!   byte-identically (ack-after-flush + journal replay);
+//! * a full ingest queue answers `BUSY` promptly — clients never hang —
+//!   and the well-behaved retry loop eventually lands every batch;
+//! * a slow query returns a prompt 408 partial-with-warning, not a
+//!   wedged connection;
+//! * graceful shutdown (`POST /shutdown`) drains, exits 0, and a
+//!   restart answers the pre-shutdown query byte-identically.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use caliper_served::{IngestClient, Reply};
+
+/// Deterministic self-describing `.cali` batch payload.
+fn batch_payload(seed: usize, records: usize) -> Vec<u8> {
+    use caliper_data::{Properties, SnapshotRecord, Value, ValueType};
+    let mut ds = caliper_format::Dataset::new();
+    let kernel = ds.attribute("kernel", ValueType::Str, Properties::NESTED);
+    let time = ds.attribute(
+        "time",
+        ValueType::Int,
+        Properties::AS_VALUE | Properties::AGGREGATABLE,
+    );
+    let names = ["alpha", "beta", "gamma"];
+    for i in 0..records {
+        let node = ds.tree.get_child(
+            caliper_data::NODE_NONE,
+            kernel.id(),
+            &Value::str(names[(seed + i) % names.len()]),
+        );
+        let mut rec = SnapshotRecord::new();
+        rec.push_node(node);
+        rec.push_imm(time.id(), Value::Int((i * (seed + 1)) as i64));
+        ds.push(rec);
+    }
+    caliper_format::cali::to_bytes(&ds)
+}
+
+const QUERY: &str = "AGGREGATE count, sum(time) GROUP BY kernel, stream \
+                     ORDER BY stream, kernel FORMAT csv";
+
+struct Daemon {
+    child: Child,
+    ingest: SocketAddr,
+    http: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawn `cali-served` over `dir` and wait until it is ready.
+    fn start(dir: &Path, extra: &[&str]) -> Daemon {
+        std::fs::create_dir_all(dir).unwrap();
+        let ports = dir.join("ports.txt");
+        let _ = std::fs::remove_file(&ports);
+        let child = Command::new(env!("CARGO_BIN_EXE_cali-served"))
+            .arg("--data-dir")
+            .arg(dir.join("data"))
+            .arg("--ports-file")
+            .arg(&ports)
+            .args(["--aggregate", "count,sum(time)", "--group-by", "kernel"])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn cali-served");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let parse_ports = |text: &str| -> Option<(u16, u16)> {
+            let mut ingest = None;
+            let mut http = None;
+            for line in text.lines() {
+                if let Some(p) = line.strip_prefix("ingest=") {
+                    ingest = p.parse().ok();
+                }
+                if let Some(p) = line.strip_prefix("http=") {
+                    http = p.parse().ok();
+                }
+            }
+            Some((ingest?, http?))
+        };
+        let (ingest_port, http_port) = loop {
+            assert!(Instant::now() < deadline, "cali-served never wrote {ports:?}");
+            if let Ok(text) = std::fs::read_to_string(&ports) {
+                if let Some(pair) = parse_ports(&text) {
+                    break pair;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let daemon = Daemon {
+            child,
+            ingest: SocketAddr::from(([127, 0, 0, 1], ingest_port)),
+            http: SocketAddr::from(([127, 0, 0, 1], http_port)),
+        };
+        loop {
+            assert!(Instant::now() < deadline, "cali-served never became ready");
+            if let Ok((200, _)) = daemon.http_req("GET", "/readyz") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        daemon
+    }
+
+    fn http_req(&self, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+        let timeout = Duration::from_secs(10);
+        let mut conn = TcpStream::connect_timeout(&self.http, timeout)?;
+        conn.set_read_timeout(Some(timeout))?;
+        conn.set_write_timeout(Some(timeout))?;
+        conn.write_all(format!("{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())?;
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw)?;
+        let status = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, body))
+    }
+
+    fn query(&self) -> (u16, String) {
+        let encoded: String = QUERY
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join("+")
+            .replace(',', "%2C")
+            .replace('(', "%28")
+            .replace(')', "%29");
+        self.http_req("GET", &format!("/query?q={encoded}")).unwrap()
+    }
+
+    fn client(&self, stream: &str) -> IngestClient {
+        let mut client = IngestClient::connect(self.ingest, Duration::from_secs(10)).unwrap();
+        let reply = client.hello(stream).unwrap();
+        assert!(reply.is_ok(), "HELLO refused: {}", reply.to_line());
+        client
+    }
+
+    /// Graceful drain; asserts the daemon's exit code.
+    fn shutdown(mut self, expect_exit: i32) {
+        let (status, _) = self.http_req("POST", "/shutdown").unwrap();
+        assert_eq!(status, 200);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                assert_eq!(status.code(), Some(expect_exit), "daemon exit code");
+                break;
+            }
+            assert!(Instant::now() < deadline, "daemon never exited after drain");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Prevent the Drop kill from firing on the reaped child.
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cali-chaos-served-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Ingest the standard three batches over two streams; returns acks.
+fn ingest_standard(daemon: &Daemon) -> Vec<Reply> {
+    let mut acks = Vec::new();
+    let mut a = daemon.client("rank0");
+    acks.push(a.send_batch(&batch_payload(0, 12)).unwrap());
+    acks.push(a.send_batch(&batch_payload(1, 12)).unwrap());
+    let _ = a.quit();
+    let mut b = daemon.client("rank1");
+    acks.push(b.send_batch(&batch_payload(2, 12)).unwrap());
+    let _ = b.quit();
+    acks
+}
+
+#[test]
+fn worker_kill_mid_batch_loses_nothing() {
+    // Clean run first: the reference answer.
+    let clean_dir = tmpdir("workerkill-clean");
+    let clean = Daemon::start(&clean_dir, &[]);
+    for ack in ingest_standard(&clean) {
+        assert!(ack.is_ok(), "{}", ack.to_line());
+    }
+    let (status, reference) = clean.query();
+    assert_eq!(status, 200, "{reference}");
+    clean.shutdown(0);
+
+    // Faulty run: every batch's first processing attempt kills the
+    // worker mid-ingest (fail(1) per fault key = per batch). The
+    // supervisor restarts the worker, the batch is redelivered, and
+    // the ack still arrives on the same send.
+    let dir = tmpdir("workerkill");
+    let daemon = Daemon::start(&dir, &["--faults", "served.ingest=fail(1)"]);
+    for ack in ingest_standard(&daemon) {
+        assert!(ack.is_ok(), "{}", ack.to_line());
+    }
+    let (status, result) = daemon.query();
+    assert_eq!(status, 200, "{result}");
+    assert_eq!(result, reference, "worker kills changed the answer");
+    let (status, stats) = daemon.http_req("GET", "/stats").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        stats.contains("served.supervisor.restarts=3"),
+        "expected exactly one restart per batch:\n{stats}"
+    );
+    assert!(stats.contains("served.ingest.accepted=3"), "{stats}");
+    daemon.shutdown(0);
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_then_restart_is_byte_identical() {
+    let dir = tmpdir("sigkill");
+    let mut daemon = Daemon::start(&dir, &["--fsync"]);
+    for ack in ingest_standard(&daemon) {
+        assert!(ack.is_ok(), "{}", ack.to_line());
+    }
+    let (status, before) = daemon.query();
+    assert_eq!(status, 200, "{before}");
+
+    // Hard kill: no drain, no flush beyond the per-batch ack path.
+    daemon.child.kill().unwrap();
+    daemon.child.wait().unwrap();
+    std::mem::forget(daemon);
+
+    let daemon = Daemon::start(&dir, &["--fsync"]);
+    let (status, after) = daemon.query();
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(after, before, "acknowledged batches lost across kill -9");
+    daemon.shutdown(0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_replies_busy_and_never_hangs() {
+    let dir = tmpdir("busy");
+    // One worker, queue depth 1, and every batch held 300 ms inside
+    // the worker: three simultaneous senders cannot all fit.
+    let daemon = Daemon::start(
+        &dir,
+        &[
+            "--queue-depth",
+            "1",
+            "--workers",
+            "1",
+            "--faults",
+            "served.ingest=delay(300)",
+        ],
+    );
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(3));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let barrier = std::sync::Arc::clone(&barrier);
+        let mut client = daemon.client(&format!("s{i}"));
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let first = client.send_batch(&batch_payload(i, 6)).unwrap();
+            let landed = match &first {
+                Reply::Busy { .. } => {
+                    // The well-behaved backpressure loop: retry until
+                    // accepted.
+                    client.send_batch_retrying(&batch_payload(i, 6), 100).unwrap()
+                }
+                other => other.clone(),
+            };
+            let _ = client.quit();
+            (first, landed)
+        }));
+    }
+    let outcomes: Vec<(Reply, Reply)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(15),
+        "backpressure path took {elapsed:?} — a full queue must not hang clients"
+    );
+    let busy = outcomes
+        .iter()
+        .filter(|(first, _)| matches!(first, Reply::Busy { .. }))
+        .count();
+    assert!(busy >= 1, "expected at least one BUSY: {outcomes:?}");
+    for (_, landed) in &outcomes {
+        assert!(landed.is_ok(), "retry loop never landed: {}", landed.to_line());
+    }
+    // Every batch accepted exactly once: 3 streams × 6 records. The
+    // query plane sees warm per-(kernel,stream) rows, so summing their
+    // `count` column recovers the raw record total.
+    let (status, body) = daemon
+        .http_req("GET", "/query?q=AGGREGATE+sum%28count%29+FORMAT+csv")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.trim(), "sum#count\n18", "every batch must land exactly once");
+    daemon.shutdown(0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_query_returns_prompt_408_partial() {
+    let dir = tmpdir("deadline");
+    let daemon = Daemon::start(
+        &dir,
+        &[
+            "--deadline-ms",
+            "50",
+            "--faults",
+            "served.query=delay(150)",
+        ],
+    );
+    let mut client = daemon.client("rank0");
+    assert!(client.send_batch(&batch_payload(0, 12)).unwrap().is_ok());
+    let _ = client.quit();
+
+    let started = Instant::now();
+    let (status, body) = daemon.query();
+    let elapsed = started.elapsed();
+    assert_eq!(status, 408, "{body}");
+    assert!(
+        body.contains("deadline exceeded"),
+        "408 body must carry the partial-result warning: {body}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline query took {elapsed:?} — must return promptly"
+    );
+    // Health plane is unaffected by slow queries.
+    assert_eq!(daemon.http_req("GET", "/healthz").unwrap().0, 200);
+    daemon.shutdown(0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_restart_matches() {
+    let dir = tmpdir("graceful");
+    let daemon = Daemon::start(&dir, &[]);
+    for ack in ingest_standard(&daemon) {
+        assert!(ack.is_ok(), "{}", ack.to_line());
+    }
+    let (status, before) = daemon.query();
+    assert_eq!(status, 200, "{before}");
+    daemon.shutdown(0);
+
+    let daemon = Daemon::start(&dir, &[]);
+    let (status, ready) = daemon.http_req("GET", "/readyz").unwrap();
+    assert_eq!(status, 200, "{ready}");
+    let (status, after) = daemon.query();
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(after, before, "graceful restart changed the answer");
+    // Draining daemons refuse new batches instead of dropping them.
+    let (s, _) = daemon.http_req("POST", "/shutdown").unwrap();
+    assert_eq!(s, 200);
+    let mut client = IngestClient::connect(daemon.ingest, Duration::from_secs(10)).unwrap();
+    if client.hello("late").is_ok() {
+        // An I/O error (connection closed during drain) is also fine;
+        // only an accepted batch would be a bug.
+        if let Ok(reply) = client.send_batch(&batch_payload(9, 3)) {
+            assert!(!reply.is_ok(), "draining daemon accepted a batch");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

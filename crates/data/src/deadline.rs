@@ -1,0 +1,139 @@
+//! Cooperative cancellation: the [`Deadline`] token.
+//!
+//! Long-running operations in a resident service (journal replay,
+//! CalQL evaluation over warm aggregate state) must never wedge the
+//! process: a pathological query or a corrupted journal should cost a
+//! bounded amount of wall-clock, then yield control back with whatever
+//! partial result exists. Rust threads cannot be killed from outside,
+//! so the budget is *cooperative*: the worker carries a [`Deadline`]
+//! and polls [`Deadline::expired`] at natural chunk boundaries (every
+//! N records / lines). The token combines two triggers:
+//!
+//! * a wall-clock instant after which the operation is over budget, and
+//! * a shared cancellation flag that an owner (e.g. a shutdown path)
+//!   can flip from another thread via [`CancelHandle::cancel`].
+//!
+//! Either trigger makes `expired()` return true; the operation is
+//! expected to stop at the next poll and report that it was cut short.
+//! Tokens are cheap to clone and share one cancellation flag per
+//! lineage, so cancelling the handle stops every clone at once.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation token: wall-clock budget plus an
+/// externally flippable cancel flag. See the module docs for the
+/// polling contract.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    /// Absolute cut-off; `None` means no time budget.
+    until: Option<Instant>,
+    /// Shared cancel flag; set once, never cleared.
+    cancelled: Arc<AtomicBool>,
+}
+
+/// The controlling end of a [`Deadline`]: lets another thread cancel
+/// every clone of the token it was taken from.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl Deadline {
+    /// A token that expires `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            until: Some(Instant::now() + budget),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A token with no time budget: expires only if cancelled through
+    /// its [`CancelHandle`].
+    pub fn unbounded() -> Deadline {
+        Deadline {
+            until: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The controlling end: cancelling it expires this token and every
+    /// clone sharing its lineage.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            cancelled: Arc::clone(&self.cancelled),
+        }
+    }
+
+    /// True once the time budget is exhausted or the token was
+    /// cancelled. Cheap enough to poll every few records (one atomic
+    /// load; the clock is read only when a budget is set).
+    pub fn expired(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.until {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry: `None` when no budget is set, zero when
+    /// already expired (or cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(Duration::ZERO);
+        }
+        self.until
+            .map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl CancelHandle {
+    /// Expire the token (and all its clones) immediately. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires_on_its_own() {
+        let d = Deadline::unbounded();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn after_zero_budget_is_expired() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancel_expires_all_clones() {
+        let d = Deadline::unbounded();
+        let clone = d.clone();
+        let handle = d.cancel_handle();
+        assert!(!clone.expired());
+        handle.cancel();
+        assert!(d.expired());
+        assert!(clone.expired());
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+        // Idempotent.
+        handle.cancel();
+        assert!(d.expired());
+    }
+}

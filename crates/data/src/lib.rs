@@ -19,6 +19,8 @@
 //! * [`FxHasher`] — the fast aggregation-key hasher.
 //! * [`MetricsRegistry`] — pipeline self-instrumentation: lock-cheap
 //!   named counters/gauges/timers the pipeline uses to profile itself.
+//! * [`Deadline`] / [`CancelHandle`] — cooperative cancellation tokens
+//!   for bounding long-running reads and queries in resident services.
 //!
 //! ```
 //! use caliper_data::{AttributeStore, RecordBuilder, Value};
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod attribute;
+pub mod deadline;
 pub mod fxhash;
 pub mod metrics;
 pub mod node;
@@ -47,6 +50,7 @@ pub mod store;
 pub mod value;
 
 pub use attribute::{AttrId, Attribute, Properties, ATTR_NONE};
+pub use deadline::{CancelHandle, Deadline};
 pub use fxhash::{fxhash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{MetricKind, MetricSample, MetricsRegistry, Stability};
 pub use node::{ContextTree, NodeData, NodeId, NODE_NONE};

@@ -85,6 +85,15 @@ pub mod sites {
     pub const MPI_KILL: &str = "mpi.kill";
     /// mpisim rank delay (`at(rank, op, ms)` rules).
     pub const MPI_DELAY: &str = "mpi.delay";
+    /// `cali-served` connection accept (key = connection ordinal).
+    pub const SERVED_ACCEPT: &str = "served.accept";
+    /// `cali-served` ingest-worker batch processing (key = hashed
+    /// stream name mixed with the batch ordinal). A `TransientErr`
+    /// here kills the worker mid-batch — the supervisor restart path.
+    pub const SERVED_INGEST: &str = "served.ingest";
+    /// `cali-served` query evaluation (key = hashed query text).
+    /// `delay(ms)` rules simulate slow queries against the deadline.
+    pub const SERVED_QUERY: &str = "served.query";
 }
 
 /// What an armed [`trigger`] asks the call site to do.

@@ -540,12 +540,43 @@ impl CaliReader {
     /// report truncated.
     pub fn read_stream_with(
         &mut self,
-        mut reader: impl BufRead,
+        reader: impl BufRead,
         policy: ReadPolicy,
         report: &mut ReadReport,
     ) -> Result<(), CaliError> {
+        self.read_stream_cancellable(reader, policy, report, None)
+    }
+
+    /// [`read_stream_with`](Self::read_stream_with) under a cooperative
+    /// [`Deadline`](caliper_data::Deadline): the deadline is polled
+    /// every 256 lines, and on expiry the read stops where it stands —
+    /// the decoded prefix is kept, the report is marked truncated with
+    /// a `read cancelled` note, and `Ok` is returned (expiry is a
+    /// *budget* outcome, not a parse failure, under either policy).
+    /// Resident services use this to bound journal replay at startup so
+    /// a huge or slow journal degrades the stream instead of wedging
+    /// readiness forever.
+    pub fn read_stream_cancellable(
+        &mut self,
+        mut reader: impl BufRead,
+        policy: ReadPolicy,
+        report: &mut ReadReport,
+        deadline: Option<&caliper_data::Deadline>,
+    ) -> Result<(), CaliError> {
         let mut buf = Vec::new();
+        let mut lines: u64 = 0;
         loop {
+            if let Some(d) = deadline {
+                if lines.is_multiple_of(256) && d.expired() {
+                    report.truncated = true;
+                    report.note_error(format!(
+                        "read cancelled by deadline after line {}",
+                        self.line_no
+                    ));
+                    return Ok(());
+                }
+            }
+            lines += 1;
             buf.clear();
             let n = match reader.read_until(b'\n', &mut buf) {
                 Ok(n) => n,

@@ -231,7 +231,7 @@ impl JournalWriter {
         let key = caliper_faults::stable_hash(&label);
         let file = &mut self.file;
         let buf = self.writer.sink_mut();
-        let (result, retries) = RetryPolicy::default().run(|| {
+        let (result, retries) = RetryPolicy::default().with_jitter(key).run(|| {
             if caliper_faults::trigger(sites::JOURNAL_WRITE, key, &label).is_some() {
                 return Err(injected_error(sites::JOURNAL_WRITE));
             }
@@ -244,7 +244,7 @@ impl JournalWriter {
         self.pending = 0;
         self.counters.flushes += 1;
         if self.policy.fsync {
-            let (result, retries) = RetryPolicy::default().run(|| {
+            let (result, retries) = RetryPolicy::default().with_jitter(key).run(|| {
                 if caliper_faults::trigger(sites::JOURNAL_FSYNC, key, &label).is_some() {
                     return Err(injected_error(sites::JOURNAL_FSYNC));
                 }
@@ -331,6 +331,19 @@ pub fn recover_bytes(
     bytes: &[u8],
     policy: ReadPolicy,
 ) -> Result<(Dataset, RecoveryReport), CaliError> {
+    recover_bytes_cancellable(bytes, policy, None)
+}
+
+/// [`recover_bytes`] under a cooperative
+/// [`Deadline`](caliper_data::Deadline): replay stops at the deadline
+/// with the salvaged prefix (report marked truncated, `read cancelled`
+/// note). Sequence dedup and gap accounting still run over whatever was
+/// decoded, so the partial report stays honest about missing spans.
+pub fn recover_bytes_cancellable(
+    bytes: &[u8],
+    policy: ReadPolicy,
+    deadline: Option<&caliper_data::Deadline>,
+) -> Result<(Dataset, RecoveryReport), CaliError> {
     let mut read = ReadReport::default();
     // The writer terminates every record with a newline, so a final
     // line without one is a torn write and can never be a complete
@@ -355,7 +368,7 @@ pub fn recover_bytes(
         }
     };
     let mut reader = CaliReader::new();
-    reader.read_stream_with(io::BufReader::new(body), policy, &mut read)?;
+    reader.read_stream_cancellable(io::BufReader::new(body), policy, &mut read, deadline)?;
     Ok(dedup_by_sequence(reader.finish(), read))
 }
 
@@ -366,9 +379,21 @@ pub fn recover_file(
     path: impl AsRef<Path>,
     policy: ReadPolicy,
 ) -> Result<(Dataset, RecoveryReport), CaliError> {
+    recover_file_cancellable(path, policy, None)
+}
+
+/// [`recover_file`] under a cooperative
+/// [`Deadline`](caliper_data::Deadline) — see
+/// [`recover_bytes_cancellable`].
+pub fn recover_file_cancellable(
+    path: impl AsRef<Path>,
+    policy: ReadPolicy,
+    deadline: Option<&caliper_data::Deadline>,
+) -> Result<(Dataset, RecoveryReport), CaliError> {
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| CaliError::from(e).with_path(path))?;
-    let (ds, mut report) = recover_bytes(&bytes, policy).map_err(|e| e.with_path(path))?;
+    let (ds, mut report) =
+        recover_bytes_cancellable(&bytes, policy, deadline).map_err(|e| e.with_path(path))?;
     report.read.path = Some(path.to_path_buf());
     Ok((ds, report))
 }

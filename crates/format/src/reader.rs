@@ -127,7 +127,10 @@ fn read_bytes_with_faults(path: &Path) -> std::io::Result<Vec<u8>> {
 
     let label = path.to_string_lossy();
     let key = caliper_faults::stable_hash(&label);
-    let (result, retries) = RetryPolicy::default().run(|| {
+    // Jitter seeded by the hashed path: shards retrying *different*
+    // files back off on decorrelated schedules (no stampede), while any
+    // given file backs off identically on every run.
+    let (result, retries) = RetryPolicy::default().with_jitter(key).run(|| {
         if caliper_faults::trigger(sites::IO_OPEN, key, &label).is_some() {
             return Err(injected_error(sites::IO_OPEN));
         }

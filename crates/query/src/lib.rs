@@ -58,5 +58,8 @@ pub use parallel::{
 };
 pub use parser::{parse_query, parse_query_spanned, ParseError, SpanMap};
 pub use pushdown::build_pushdown;
-pub use query::{run_query, Pipeline, QueryResult};
+pub use query::{
+    run_query, run_records_with_deadline, DeadlineRun, Pipeline, QueryResult,
+    DEADLINE_CHECK_INTERVAL,
+};
 pub use sema::analyze;

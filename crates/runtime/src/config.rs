@@ -22,6 +22,26 @@
 //! | `journal.append`      | resume an existing journal instead of truncating  |
 //! | `metrics.enable`      | per-channel self-instrumentation registry on/off  |
 //!
+//! The resident aggregation daemon (`cali-served`, see `docs/SERVED.md`)
+//! reads its profile through the same machinery, so its keys are
+//! validated here too:
+//!
+//! | key                       | meaning                                       |
+//! |---------------------------|-----------------------------------------------|
+//! | `served.port`             | ingest TCP port (`0` = ephemeral)             |
+//! | `served.http.port`        | query/health HTTP port (`0` = ephemeral)      |
+//! | `served.queue.depth`      | bounded ingest queue capacity (≥ 1)           |
+//! | `served.workers`          | ingest worker thread count (≥ 1)              |
+//! | `served.query.deadline.ms`| per-query wall-clock budget                   |
+//! | `served.replay.deadline.ms`| journal-replay budget per stream at startup  |
+//! | `served.shutdown.deadline.ms`| graceful-drain budget before forced exit   |
+//! | `served.supervisor.max.restarts`| worker restarts before giving up        |
+//! | `served.stream.max.failures`| consecutive batch failures tripping a stream's circuit breaker |
+//! | `served.max.groups`       | aggregate-state group cap per stream          |
+//! | `served.batch.max.bytes`  | largest accepted ingest batch                 |
+//! | `served.fsync`            | fsync journals on every accepted batch        |
+//! | `served.aggregate.ops` / `served.aggregate.key` | resident aggregation scheme |
+//!
 //! Unknown keys are kept (services may define their own).
 //! [`Config::validate`] checks the values of all recognized keys and
 //! returns the first problem as a [`ConfigError`]; [`Caliper::try_new`]
@@ -198,6 +218,66 @@ impl Config {
         // The journal.* keys share their validation with the journal
         // service so the two cannot drift apart.
         crate::journal::JournalConfig::from_config(self)?;
+        self.validate_served()?;
+        Ok(())
+    }
+
+    /// Validation for the `served.*` profile keys consumed by the
+    /// resident aggregation daemon (`cali-served`). Split out of
+    /// [`Config::validate`] only for readability — a typo'd value is a
+    /// [`ConfigError`] either way, never a silently applied default.
+    fn validate_served(&self) -> Result<(), ConfigError> {
+        for key in ["served.port", "served.http.port"] {
+            if let Some(v) = self.get(key) {
+                v.trim().parse::<u16>().map_err(|_| {
+                    ConfigError::for_key(key, format!("expected a TCP port (0-65535), got '{v}'"))
+                })?;
+            }
+        }
+        for key in ["served.queue.depth", "served.workers"] {
+            if let Some(v) = self.get(key) {
+                match v.trim().parse::<u64>() {
+                    Ok(n) if n >= 1 => {}
+                    _ => {
+                        return Err(ConfigError::for_key(
+                            key,
+                            format!("expected a positive integer, got '{v}'"),
+                        ))
+                    }
+                }
+            }
+        }
+        for key in [
+            "served.query.deadline.ms",
+            "served.replay.deadline.ms",
+            "served.shutdown.deadline.ms",
+            "served.supervisor.max.restarts",
+            "served.stream.max.failures",
+            "served.max.groups",
+            "served.batch.max.bytes",
+        ] {
+            if let Some(v) = self.get(key) {
+                v.trim().parse::<u64>().map_err(|_| {
+                    ConfigError::for_key(key, format!("expected an unsigned integer, got '{v}'"))
+                })?;
+            }
+        }
+        if let Some(v) = self.get("served.fsync") {
+            if !matches!(v.trim(), "true" | "false" | "1" | "0") {
+                return Err(ConfigError::for_key(
+                    "served.fsync",
+                    format!("expected a boolean, got '{v}'"),
+                ));
+            }
+        }
+        if let Some(ops) = self.get("served.aggregate.ops") {
+            caliper_query::parse_query(&format!("AGGREGATE {ops}")).map_err(|e| {
+                ConfigError::for_key(
+                    "served.aggregate.ops",
+                    format!("invalid op list '{ops}': {e}"),
+                )
+            })?;
+        }
         Ok(())
     }
 
@@ -333,6 +413,43 @@ mod tests {
             .set("metrics.enable", "true")
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn validate_covers_served_keys() {
+        // A full, valid daemon profile passes.
+        Config::new()
+            .set("served.port", "0")
+            .set("served.http.port", "8080")
+            .set("served.queue.depth", "64")
+            .set("served.workers", "2")
+            .set("served.query.deadline.ms", "2000")
+            .set("served.supervisor.max.restarts", "5")
+            .set("served.stream.max.failures", "3")
+            .set("served.fsync", "true")
+            .set("served.aggregate.ops", "count,sum(time.duration)")
+            .validate()
+            .unwrap();
+
+        // Typos become ConfigErrors naming the key, not silent defaults.
+        let cases = [
+            ("served.port", "70000"),
+            ("served.http.port", "http"),
+            ("served.queue.depth", "0"),
+            ("served.workers", "-1"),
+            ("served.query.deadline.ms", "2s"),
+            ("served.supervisor.max.restarts", "many"),
+            ("served.stream.max.failures", "3.5"),
+            ("served.max.groups", "all"),
+            ("served.batch.max.bytes", "4MiB"),
+            ("served.fsync", "yes"),
+            ("served.aggregate.ops", "count,sum("),
+        ];
+        for (key, bad) in cases {
+            let err = Config::new().set(key, bad).validate().unwrap_err();
+            assert!(err.message.contains(key), "{key}: {err}");
+            assert_eq!(err.line, 0);
+        }
     }
 
     #[test]

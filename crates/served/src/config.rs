@@ -1,0 +1,178 @@
+//! Daemon configuration: the `served.*` profile keys.
+//!
+//! `cali-served` reads its profile through the same [`Config`] machinery
+//! as the in-process runtime (config file, `CALI_*` environment,
+//! command-line overrides layered on top), and every key is validated by
+//! [`Config::validate`] — a typo'd value is a [`ConfigError`] at
+//! startup, never a silently applied default.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use caliper_runtime::config::{Config, ConfigError};
+
+/// Resolved daemon configuration. See the `served.*` table in
+/// [`caliper_runtime::config`] and `docs/SERVED.md` for key semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedConfig {
+    /// Ingest TCP port; 0 binds an ephemeral port (written to the
+    /// ports file).
+    pub port: u16,
+    /// Query/health HTTP port; 0 binds an ephemeral port.
+    pub http_port: u16,
+    /// Directory holding one journal file per stream.
+    pub data_dir: PathBuf,
+    /// Bounded ingest queue capacity; a full queue answers `BUSY`.
+    pub queue_depth: usize,
+    /// Ingest worker thread count.
+    pub workers: usize,
+    /// Per-query wall-clock budget.
+    pub query_deadline: Duration,
+    /// Journal-replay budget per stream at startup; an over-budget
+    /// replay degrades the stream instead of wedging readiness.
+    pub replay_deadline: Duration,
+    /// Graceful-drain budget: how long shutdown waits for queued
+    /// batches to reach the journals before giving up (exit code 2).
+    pub shutdown_deadline: Duration,
+    /// Worker restarts the supervisor performs before giving up on the
+    /// worker slot.
+    pub max_restarts: u32,
+    /// Consecutive failed batches that trip a stream's circuit breaker
+    /// into the degraded state.
+    pub max_stream_failures: u32,
+    /// Aggregate-state group cap per stream (`--max-groups` semantics,
+    /// overflow goes to the `__overflow__` bucket). `None` = unbounded.
+    pub max_groups: Option<usize>,
+    /// Largest accepted ingest batch in bytes.
+    pub batch_max_bytes: usize,
+    /// `fsync` journals as part of accepting each batch (durability
+    /// against OS crashes, not just process crashes).
+    pub fsync: bool,
+    /// Resident aggregation op list (CalQL `AGGREGATE` syntax).
+    pub aggregate_ops: String,
+    /// Resident aggregation key (comma list, CalQL `GROUP BY` syntax).
+    pub aggregate_key: String,
+}
+
+impl Default for ServedConfig {
+    fn default() -> ServedConfig {
+        ServedConfig {
+            port: 0,
+            http_port: 0,
+            data_dir: PathBuf::from("."),
+            queue_depth: 64,
+            workers: 2,
+            query_deadline: Duration::from_millis(2000),
+            replay_deadline: Duration::from_millis(30_000),
+            shutdown_deadline: Duration::from_millis(10_000),
+            max_restarts: 5,
+            max_stream_failures: 3,
+            max_groups: None,
+            batch_max_bytes: 4 << 20,
+            fsync: false,
+            aggregate_ops: "count".to_string(),
+            aggregate_key: String::new(),
+        }
+    }
+}
+
+impl ServedConfig {
+    /// Resolve a daemon configuration from a (validated) profile.
+    /// Runs [`Config::validate`] first, so a malformed `served.*` value
+    /// is reported as its [`ConfigError`] instead of defaulting.
+    pub fn from_config(config: &Config) -> Result<ServedConfig, ConfigError> {
+        config.validate()?;
+        let d = ServedConfig::default();
+        let ms = |key: &str, dflt: Duration| {
+            Duration::from_millis(config.get_u64(key, dflt.as_millis() as u64))
+        };
+        Ok(ServedConfig {
+            port: config.get_u64("served.port", u64::from(d.port)) as u16,
+            http_port: config.get_u64("served.http.port", u64::from(d.http_port)) as u16,
+            data_dir: config
+                .get("served.data.dir")
+                .map(PathBuf::from)
+                .unwrap_or(d.data_dir),
+            queue_depth: config.get_u64("served.queue.depth", d.queue_depth as u64) as usize,
+            workers: config.get_u64("served.workers", d.workers as u64) as usize,
+            query_deadline: ms("served.query.deadline.ms", d.query_deadline),
+            replay_deadline: ms("served.replay.deadline.ms", d.replay_deadline),
+            shutdown_deadline: ms("served.shutdown.deadline.ms", d.shutdown_deadline),
+            max_restarts: config.get_u64("served.supervisor.max.restarts", u64::from(d.max_restarts))
+                as u32,
+            max_stream_failures: config
+                .get_u64("served.stream.max.failures", u64::from(d.max_stream_failures))
+                as u32,
+            max_groups: match config.get_u64("served.max.groups", 0) {
+                0 => None,
+                n => Some(n as usize),
+            },
+            batch_max_bytes: config.get_u64("served.batch.max.bytes", d.batch_max_bytes as u64)
+                as usize,
+            fsync: config.get_bool("served.fsync", d.fsync),
+            aggregate_ops: config
+                .get("served.aggregate.ops")
+                .unwrap_or(&d.aggregate_ops)
+                .to_string(),
+            aggregate_key: config
+                .get("served.aggregate.key")
+                .unwrap_or(&d.aggregate_key)
+                .to_string(),
+        })
+    }
+
+    /// The resident aggregation scheme as a CalQL query text — parsed
+    /// once at startup, its [`AggregationSpec`] drives every stream's
+    /// warm [`Aggregator`].
+    ///
+    /// [`AggregationSpec`]: caliper_query::AggregationSpec
+    /// [`Aggregator`]: caliper_query::Aggregator
+    pub fn aggregate_query(&self) -> String {
+        if self.aggregate_key.trim().is_empty() {
+            format!("AGGREGATE {}", self.aggregate_ops)
+        } else {
+            format!("AGGREGATE {} GROUP BY {}", self.aggregate_ops, self.aggregate_key)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve_from_empty_profile() {
+        let cfg = ServedConfig::from_config(&Config::new()).unwrap();
+        assert_eq!(cfg, ServedConfig::default());
+        assert_eq!(cfg.aggregate_query(), "AGGREGATE count");
+    }
+
+    #[test]
+    fn profile_overrides_apply() {
+        let cfg = ServedConfig::from_config(
+            &Config::new()
+                .set("served.port", "7777")
+                .set("served.queue.depth", "8")
+                .set("served.query.deadline.ms", "250")
+                .set("served.max.groups", "100")
+                .set("served.aggregate.ops", "count,sum(time.duration)")
+                .set("served.aggregate.key", "kernel"),
+        )
+        .unwrap();
+        assert_eq!(cfg.port, 7777);
+        assert_eq!(cfg.queue_depth, 8);
+        assert_eq!(cfg.query_deadline, Duration::from_millis(250));
+        assert_eq!(cfg.max_groups, Some(100));
+        assert_eq!(
+            cfg.aggregate_query(),
+            "AGGREGATE count,sum(time.duration) GROUP BY kernel"
+        );
+    }
+
+    #[test]
+    fn malformed_keys_are_config_errors() {
+        let err = ServedConfig::from_config(&Config::new().set("served.queue.depth", "0"))
+            .unwrap_err();
+        assert!(err.message.contains("served.queue.depth"), "{err}");
+    }
+}

@@ -1,0 +1,147 @@
+//! The bounded ingest queue: explicit backpressure, never blocking the
+//! accept path.
+//!
+//! Producers (connection handlers) use [`BoundedQueue::try_push`],
+//! which fails *immediately* when the queue is at capacity — the
+//! handler turns that into a `BUSY retry-after` reply, pushing the wait
+//! out to the client instead of absorbing it into unbounded memory or a
+//! blocked accept loop (the ESS streaming lesson: overload must be
+//! explicit). Consumers (ingest workers) block on
+//! [`BoundedQueue::pop_timeout`] with a short timeout so they can poll
+//! the shutdown flag between batches.
+//!
+//! [`BoundedQueue::requeue_front`] deliberately bypasses the capacity
+//! check: it is the crash-redelivery path — a worker that is about to
+//! die mid-batch puts the batch *back at the head* so the restarted
+//! worker picks it up first and no accepted work is lost. Allowing the
+//! queue to briefly hold `capacity + 1` items is the price of never
+//! dropping a batch on the floor during a panic.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A fixed-capacity MPMC queue with non-blocking producers.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push: `Err(item)` when the queue is full, handing
+    /// the item back so the caller can reply `BUSY` without cloning.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.capacity {
+            return Err(item);
+        }
+        q.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Put an item back at the *head*, ignoring capacity — the
+    /// crash-redelivery path (see module docs). Never fails.
+    pub fn requeue_front(&self, item: T) {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_front(item);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Blocking pop with a timeout; `None` when the queue stayed empty
+    /// for the whole wait (the worker's cue to poll shutdown).
+    pub fn pop_timeout(&self, wait: Duration) -> Option<T> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(item) = q.pop_front() {
+            return Some(item);
+        }
+        let (mut q, _timed_out) = self
+            .ready
+            .wait_timeout(q, wait)
+            .unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+
+    /// Current depth (racy by nature; used for the depth gauge and the
+    /// readiness high-watermark check).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_fails_fast_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        // Full: the rejected item comes back, and nothing blocks.
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn requeue_front_bypasses_capacity_and_orders_first() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push("queued").is_ok());
+        q.requeue_front("redelivered");
+        assert_eq!(q.len(), 2, "redelivery may exceed capacity by one");
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some("redelivered"));
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some("queued"));
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn pop_wakes_on_push_from_another_thread() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42u32).unwrap();
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

@@ -1,0 +1,855 @@
+//! The daemon: accept loops, supervised ingest workers, the query
+//! plane, graceful drain, and the exit-code contract.
+//!
+//! Thread layout:
+//!
+//! * one ingest accept loop + one HTTP accept loop (non-blocking
+//!   accept, polling the stop flag — an overloaded daemon never stops
+//!   answering `BUSY`/`503`, and injected `served.accept` faults drop
+//!   connections here without touching the loop);
+//! * one connection-handler thread per ingest/HTTP connection (HTTP
+//!   concurrency is capped; over-cap connections get `503`);
+//! * `workers` supervised ingest workers draining the bounded queue
+//!   ([`supervise`]: restart on panic with seeded backoff, trip after
+//!   the restart budget);
+//! * the caller's thread parks in [`Server::run`] until drain finishes.
+//!
+//! Shutdown is cooperative (`POST /shutdown` or the client `--shutdown`
+//! flag): stop admitting batches, let workers drain the queue, flush
+//! and fsync every journal, then return. A non-graceful death
+//! (`kill -9`) is also safe — acknowledged batches are journaled
+//! before the ack, so restart replays them losslessly; only un-acked
+//! work is lost, which well-behaved clients retry.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use caliper_data::metrics::{self, MetricsRegistry};
+use caliper_data::{AttributeStore, Deadline, Properties, ValueType};
+use caliper_faults::{sites, stable_hash};
+use caliper_format::retry::RetryPolicy;
+use caliper_query::{parse_query, run_records_with_deadline, AggregationSpec};
+
+use crate::config::ServedConfig;
+use crate::http::{read_request, text_response, Request};
+use crate::protocol::{read_line, read_payload, Command, Reply};
+use crate::queue::BoundedQueue;
+use crate::state::{journal_path, stream_of_journal, valid_stream_name, StreamState};
+use crate::supervisor::{supervise, WorkerHealth};
+
+/// The `retry-after-ms` hint sent with `BUSY` replies.
+const BUSY_RETRY_AFTER_MS: u64 = 100;
+/// How long a connection handler waits for its batch's worker verdict.
+const BATCH_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+/// Concurrent HTTP handler cap; over-cap connections get `503`.
+const HTTP_MAX_CONCURRENT: usize = 32;
+/// Ingest connection read timeout (idle clients are dropped).
+const CONN_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One queued ingest batch, carrying its reply channel back to the
+/// connection handler.
+struct Batch {
+    stream: String,
+    payload: Vec<u8>,
+    /// Global admission ordinal: the deterministic fault key for
+    /// `served.ingest` rules (`<stream>#<ordinal>`).
+    ordinal: u64,
+    reply: SyncSender<Reply>,
+}
+
+/// Everything the daemon's threads share.
+pub struct ServerState {
+    cfg: ServedConfig,
+    spec: AggregationSpec,
+    streams: Mutex<BTreeMap<String, Arc<Mutex<StreamState>>>>,
+    queue: BoundedQueue<Batch>,
+    /// Drain requested: stop admitting batches; workers exit once the
+    /// queue is empty.
+    draining: AtomicBool,
+    /// Hard stop: accept loops and workers exit now.
+    stopped: AtomicBool,
+    /// Journal replay finished (readiness gate).
+    replay_complete: AtomicBool,
+    batch_ordinal: AtomicU64,
+    conn_ordinal: AtomicU64,
+    active_http: AtomicUsize,
+}
+
+impl ServerState {
+    fn new(cfg: ServedConfig) -> Result<ServerState, String> {
+        let spec_query = cfg.aggregate_query();
+        let spec = parse_query(&spec_query)
+            .map_err(|e| format!("served.aggregate.*: invalid scheme '{spec_query}': {e}"))?;
+        Ok(ServerState {
+            queue: BoundedQueue::new(cfg.queue_depth),
+            cfg,
+            spec: AggregationSpec::from_query(&spec),
+            streams: Mutex::new(BTreeMap::new()),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            replay_complete: AtomicBool::new(false),
+            batch_ordinal: AtomicU64::new(0),
+            conn_ordinal: AtomicU64::new(0),
+            active_http: AtomicUsize::new(0),
+        })
+    }
+
+    fn metrics(&self) -> &'static MetricsRegistry {
+        metrics::global()
+    }
+
+    /// Begin the graceful drain (idempotent).
+    pub fn begin_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Readiness: replay done and the queue below its high-watermark
+    /// (full = not ready: new batches would only bounce) and not
+    /// draining.
+    fn ready(&self) -> (bool, String) {
+        let replayed = self.replay_complete.load(Ordering::SeqCst);
+        let depth = self.queue.len();
+        let below_watermark = depth < self.queue.capacity();
+        let draining = self.draining();
+        let ready = replayed && below_watermark && !draining;
+        let detail = format!(
+            "replay_complete={replayed} queue_depth={depth}/{} draining={draining}",
+            self.queue.capacity()
+        );
+        (ready, detail)
+    }
+
+    /// Get or open a stream's state. Opening journals + replays under
+    /// the map lock so two HELLOs for a new stream cannot race a
+    /// double-create.
+    fn stream(&self, name: &str) -> Result<Arc<Mutex<StreamState>>, String> {
+        if !valid_stream_name(name) {
+            return Err(format!("invalid stream name '{name}'"));
+        }
+        let mut map = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(s) = map.get(name) {
+            return Ok(Arc::clone(s));
+        }
+        let state = StreamState::open(name, &self.cfg, &self.spec)?;
+        let state = Arc::new(Mutex::new(state));
+        map.insert(name.to_string(), Arc::clone(&state));
+        self.metrics().gauge("served.streams").set(map.len() as u64);
+        Ok(state)
+    }
+
+    fn sorted_streams(&self) -> Vec<(String, Arc<Mutex<StreamState>>)> {
+        let map = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+    }
+
+    fn degraded_streams(&self) -> Vec<String> {
+        self.sorted_streams()
+            .into_iter()
+            .filter(|(_, s)| s.lock().unwrap_or_else(|e| e.into_inner()).degraded())
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    fn refresh_degraded_gauge(&self) -> usize {
+        let n = self.degraded_streams().len();
+        self.metrics()
+            .gauge("served.streams.degraded")
+            .set(n as u64);
+        n
+    }
+
+    /// Process one batch on a worker thread. May panic deliberately:
+    /// an armed `served.ingest` fault requeues the batch at the queue
+    /// head and then panics, simulating a worker killed mid-ingest
+    /// with zero accepted-batch loss (the supervisor restarts the
+    /// worker; the restarted worker redelivers the batch).
+    fn process(&self, batch: Batch) {
+        let label = format!("{}#{}", batch.stream, batch.ordinal);
+        let key = stable_hash(&label);
+        if caliper_faults::trigger(sites::SERVED_INGEST, key, &label).is_some() {
+            self.queue.requeue_front(batch);
+            self.metrics()
+                .gauge_volatile("served.queue.depth")
+                .set(self.queue.len() as u64);
+            panic!("injected worker kill at {} ({label})", sites::SERVED_INGEST);
+        }
+        let mut payload = batch.payload;
+        caliper_faults::mutate(sites::SERVED_INGEST, key, &label, &mut payload);
+
+        let reply = match self.stream(&batch.stream) {
+            Err(e) => Reply::Error(e),
+            Ok(stream) => {
+                let mut s = stream.lock().unwrap_or_else(|e| e.into_inner());
+                let was_degraded = s.degraded();
+                match s.process_batch(&payload) {
+                    Ok(ack) => {
+                        self.metrics().counter("served.ingest.accepted").inc();
+                        self.metrics()
+                            .counter("served.ingest.records")
+                            .add(ack.records);
+                        Reply::Ok(format!("seq={} records={}", ack.last_seq, ack.records))
+                    }
+                    Err(msg) => {
+                        self.metrics().counter("served.ingest.failed").inc();
+                        if s.degraded() {
+                            if !was_degraded {
+                                drop(s);
+                                self.refresh_degraded_gauge();
+                            }
+                            Reply::Degraded(msg)
+                        } else {
+                            Reply::Error(msg)
+                        }
+                    }
+                }
+            }
+        };
+        // The handler may have timed out and gone; that's its problem.
+        let _ = batch.reply.try_send(reply);
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            if self.stopped() {
+                return;
+            }
+            match self.queue.pop_timeout(Duration::from_millis(50)) {
+                Some(batch) => {
+                    self.metrics()
+                        .gauge_volatile("served.queue.depth")
+                        .set(self.queue.len() as u64);
+                    self.process(batch);
+                }
+                None => {
+                    if self.draining() && self.queue.is_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The query plane: snapshot warm rows (all streams or one) into a
+    /// fresh store, tag each row with its stream, and evaluate `q`
+    /// under the per-query deadline. Returns `(status, body)`.
+    fn run_http_query(&self, q: &str, stream_filter: Option<&str>) -> (u16, String) {
+        self.metrics().counter("served.query.count").inc();
+        let deadline = Deadline::after(self.cfg.query_deadline);
+        // Fault site: `delay(ms)` rules sleep here (consuming budget —
+        // the deterministic "slow query"); `err`/`fail` rules refuse
+        // the query outright.
+        let key = stable_hash(q);
+        if caliper_faults::trigger(sites::SERVED_QUERY, key, q).is_some() {
+            self.metrics().counter("served.query.failed").inc();
+            return (503, format!("injected fault at {}\n", sites::SERVED_QUERY));
+        }
+
+        let out_store = Arc::new(AttributeStore::new());
+        let stream_attr = match out_store.create("stream", ValueType::Str, Properties::DEFAULT) {
+            Ok(a) => a.id(),
+            Err(e) => return (500, format!("interning stream column: {e:?}\n")),
+        };
+        let mut rows = Vec::new();
+        let mut streams_seen = 0usize;
+        let mut streams_skipped = 0usize;
+        let selected: Vec<_> = self
+            .sorted_streams()
+            .into_iter()
+            .filter(|(name, _)| stream_filter.is_none_or(|f| f == name))
+            .collect();
+        if let Some(f) = stream_filter {
+            if selected.is_empty() {
+                return (404, format!("unknown stream '{f}'\n"));
+            }
+        }
+        for (_, stream) in &selected {
+            if deadline.expired() {
+                streams_skipped += 1;
+                continue;
+            }
+            let s = stream.lock().unwrap_or_else(|e| e.into_inner());
+            rows.extend(s.warm_rows(&out_store, stream_attr));
+            streams_seen += 1;
+        }
+
+        match run_records_with_deadline(out_store, &rows, q, &deadline) {
+            Err(e) => (400, format!("query error: {e}\n")),
+            Ok(run) if !run.complete || streams_skipped > 0 => {
+                self.metrics()
+                    .counter("served.query.deadline_exceeded")
+                    .inc();
+                let body = format!(
+                    "warning: deadline exceeded ({} ms): partial result over {} of {} rows, {} of {} streams\n{}",
+                    self.cfg.query_deadline.as_millis(),
+                    run.processed,
+                    rows.len(),
+                    streams_seen,
+                    streams_seen + streams_skipped,
+                    run.result.render()
+                );
+                (408, body)
+            }
+            Ok(run) => (200, run.result.render()),
+        }
+    }
+
+    /// Serve one HTTP connection (one request, `Connection: close`).
+    fn handle_http(&self, conn: TcpStream) {
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+        let mut writer = match conn.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(conn);
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = writer.write_all(&text_response(400, &format!("{e}\n")));
+                return;
+            }
+        };
+        let (status, body) = self.route(&req);
+        let _ = writer.write_all(&text_response(status, &body));
+    }
+
+    fn route(&self, req: &Request) -> (u16, String) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => (200, "ok\n".to_string()),
+            ("GET", "/readyz") => {
+                let (ready, detail) = self.ready();
+                if ready {
+                    (200, format!("ready\n{detail}\n"))
+                } else {
+                    (503, format!("not ready\n{detail}\n"))
+                }
+            }
+            ("GET", "/stats") => {
+                self.refresh_health_gauges();
+                (200, self.metrics().render_text(true))
+            }
+            ("POST", "/shutdown") => {
+                self.begin_shutdown();
+                (200, "draining\n".to_string())
+            }
+            ("GET", "/query") => match req.params.get("q") {
+                Some(q) => self.run_http_query(q, req.params.get("stream").map(String::as_str)),
+                None => (400, "missing q parameter\n".to_string()),
+            },
+            ("GET", _) => (404, format!("no such endpoint: {}\n", req.path)),
+            _ => (405, format!("method {} not allowed\n", req.method)),
+        }
+    }
+
+    /// Keep the stable `served.*` health gauges current (they are
+    /// reported in `--stats` sorted with the rest of the registry).
+    fn refresh_health_gauges(&self) {
+        let m = self.metrics();
+        m.gauge("served.healthy").set(1);
+        let (ready, _) = self.ready();
+        m.gauge("served.ready").set(u64::from(ready));
+        self.refresh_degraded_gauge();
+    }
+
+    /// Serve one ingest connection.
+    fn handle_ingest(&self, conn: TcpStream) {
+        let _ = conn.set_read_timeout(Some(CONN_READ_TIMEOUT));
+        let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+        let mut writer = match conn.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(conn);
+        let mut bound: Option<String> = None;
+        let send = |writer: &mut TcpStream, reply: Reply| -> std::io::Result<()> {
+            writer.write_all(reply.to_line().as_bytes())?;
+            writer.write_all(b"\n")
+        };
+        loop {
+            let line = match read_line(&mut reader) {
+                Ok(Some(line)) => line,
+                Ok(None) | Err(_) => return,
+            };
+            let command = match Command::parse(&line) {
+                Ok(c) => c,
+                Err(e) => {
+                    // A malformed command may precede an unframed
+                    // payload: reply, then drop the desynced stream.
+                    let _ = send(&mut writer, Reply::Error(e));
+                    return;
+                }
+            };
+            let reply = match command {
+                Command::Ping => Reply::Ok("pong".to_string()),
+                Command::Quit => {
+                    let _ = send(&mut writer, Reply::Ok("bye".to_string()));
+                    return;
+                }
+                Command::Hello(name) => match self.stream(&name) {
+                    Ok(_) => {
+                        bound = Some(name.clone());
+                        Reply::Ok(format!("stream={name}"))
+                    }
+                    Err(e) => {
+                        let _ = send(&mut writer, Reply::Error(e));
+                        return;
+                    }
+                },
+                Command::Batch(len) => {
+                    if len > self.cfg.batch_max_bytes {
+                        let _ = send(
+                            &mut writer,
+                            Reply::Error(format!(
+                                "batch of {len} bytes exceeds served.batch.max.bytes={}",
+                                self.cfg.batch_max_bytes
+                            )),
+                        );
+                        return; // payload unread: stream is desynced
+                    }
+                    let payload = match read_payload(&mut reader, len) {
+                        Ok(p) => p,
+                        Err(_) => return,
+                    };
+                    match &bound {
+                        None => Reply::Error("HELLO <stream> must precede BATCH".to_string()),
+                        Some(stream) => self.admit_batch(stream.clone(), payload),
+                    }
+                }
+            };
+            if send(&mut writer, reply).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Admit one batch to the bounded queue and wait for its verdict.
+    /// A full queue answers `BUSY` immediately — admission never
+    /// blocks, so the accept path stays responsive under overload.
+    fn admit_batch(&self, stream: String, payload: Vec<u8>) -> Reply {
+        if self.draining() {
+            return Reply::Error("draining: not accepting batches".to_string());
+        }
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let batch = Batch {
+            stream,
+            payload,
+            ordinal: self.batch_ordinal.fetch_add(1, Ordering::SeqCst),
+            reply: tx,
+        };
+        match self.queue.try_push(batch) {
+            Err(_) => {
+                self.metrics().counter("served.ingest.rejected").inc();
+                Reply::Busy {
+                    retry_after_ms: BUSY_RETRY_AFTER_MS,
+                }
+            }
+            Ok(()) => {
+                self.metrics()
+                    .gauge_volatile("served.queue.depth")
+                    .set(self.queue.len() as u64);
+                match rx.recv_timeout(BATCH_REPLY_TIMEOUT) {
+                    Ok(reply) => reply,
+                    Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                        Reply::Error(
+                            "ingest verdict timed out; batch state unknown, safe to retry"
+                                .to_string(),
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What [`Server::run`] reports back when the daemon exits.
+#[derive(Debug, Clone)]
+pub struct ExitSummary {
+    /// 0 = clean; 2 = degraded (tripped workers, degraded streams, or
+    /// an incomplete drain).
+    pub exit_code: i32,
+    /// Streams whose circuit breaker was open at exit.
+    pub degraded_streams: Vec<String>,
+    /// Worker slots whose supervisor gave up restarting.
+    pub tripped_workers: usize,
+    /// Whether the queue fully drained within the shutdown deadline.
+    pub drained: bool,
+}
+
+/// A running daemon: bound listeners plus the shared state. Create
+/// with [`Server::bind`], then [`Server::run`] to serve until drained.
+pub struct Server {
+    state: Arc<ServerState>,
+    ingest_listener: TcpListener,
+    http_listener: TcpListener,
+}
+
+impl Server {
+    /// Bind both listeners (loopback only) and replay every journal
+    /// found in the data directory. Readiness flips once replay is
+    /// done.
+    pub fn bind(cfg: ServedConfig) -> Result<Server, String> {
+        let state = Arc::new(ServerState::new(cfg)?);
+        let bind = |port: u16| -> Result<TcpListener, String> {
+            let addr = SocketAddr::from(([127, 0, 0, 1], port));
+            let listener =
+                TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("non-blocking listener: {e}"))?;
+            Ok(listener)
+        };
+        let ingest_listener = bind(state.cfg.port)?;
+        let http_listener = bind(state.cfg.http_port)?;
+
+        // Replay existing journals before serving: queries answered
+        // after readiness reflect every previously acknowledged batch.
+        std::fs::create_dir_all(&state.cfg.data_dir)
+            .map_err(|e| format!("creating data dir: {e}"))?;
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&state.cfg.data_dir)
+            .map_err(|e| format!("scanning data dir: {e}"))?;
+        for entry in entries.flatten() {
+            if let Some(stream) = stream_of_journal(&entry.path()) {
+                names.push(stream);
+            }
+        }
+        names.sort();
+        for name in names {
+            state.stream(&name).map_err(|e| {
+                format!(
+                    "recovering stream '{name}' from {}: {e}",
+                    journal_path(&state.cfg.data_dir, &name).display()
+                )
+            })?;
+        }
+        state.replay_complete.store(true, Ordering::SeqCst);
+        state.refresh_health_gauges();
+        Ok(Server {
+            state,
+            ingest_listener,
+            http_listener,
+        })
+    }
+
+    /// The bound ingest address.
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_listener.local_addr().expect("bound listener")
+    }
+
+    /// The bound HTTP address.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_listener.local_addr().expect("bound listener")
+    }
+
+    /// Shared state handle (tests and the binary use it to trigger
+    /// shutdown in-process).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serve until a graceful shutdown request finishes draining.
+    /// Returns the exit summary; the process exit code is
+    /// [`ExitSummary::exit_code`].
+    pub fn run(self) -> ExitSummary {
+        let state = &self.state;
+        let mut worker_health = Vec::new();
+        let mut worker_handles = Vec::new();
+        for i in 0..state.cfg.workers.max(1) {
+            let health = Arc::new(WorkerHealth::default());
+            worker_health.push(Arc::clone(&health));
+            let st = Arc::clone(state);
+            let restart_metric = state.metrics().counter("served.supervisor.restarts");
+            // Backoff seeded per worker slot: crash-looping workers
+            // restart on decorrelated, reproducible schedules.
+            let backoff = RetryPolicy {
+                max_attempts: state.cfg.max_restarts.saturating_add(1).max(2),
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(100),
+                jitter_seed: None,
+            }
+            .with_jitter(stable_hash(&format!("served.worker.{i}")));
+            let handle = supervise(
+                &format!("served-worker-{i}"),
+                state.cfg.max_restarts,
+                backoff,
+                health,
+                move |_| restart_metric.inc(),
+                move || st.worker_loop(),
+            );
+            worker_handles.push(handle);
+        }
+
+        let spawn_accept = |listener: TcpListener, ingest: bool| {
+            let st = Arc::clone(state);
+            std::thread::spawn(move || loop {
+                if st.stopped() {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((conn, _peer)) => {
+                        let ordinal = st.conn_ordinal.fetch_add(1, Ordering::SeqCst);
+                        let label = format!("conn#{ordinal}");
+                        if caliper_faults::trigger(sites::SERVED_ACCEPT, ordinal, &label)
+                            .is_some()
+                        {
+                            // Injected accept failure: drop the
+                            // connection; the loop itself never dies.
+                            st.metrics().counter("served.accept.rejected").inc();
+                            continue;
+                        }
+                        let _ = conn.set_nodelay(true);
+                        let handler = Arc::clone(&st);
+                        if ingest {
+                            std::thread::spawn(move || handler.handle_ingest(conn));
+                        } else {
+                            if handler.active_http.fetch_add(1, Ordering::SeqCst)
+                                >= HTTP_MAX_CONCURRENT
+                            {
+                                handler.active_http.fetch_sub(1, Ordering::SeqCst);
+                                let mut conn = conn;
+                                let _ = conn.write_all(&text_response(
+                                    503,
+                                    "too many concurrent requests\n",
+                                ));
+                                continue;
+                            }
+                            std::thread::spawn(move || {
+                                handler.handle_http(conn);
+                                handler.active_http.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            })
+        };
+        let accept_ingest = spawn_accept(
+            self.ingest_listener.try_clone().expect("listener clone"),
+            true,
+        );
+        let accept_http = spawn_accept(
+            self.http_listener.try_clone().expect("listener clone"),
+            false,
+        );
+
+        // Park until a drain is requested, keeping health gauges warm.
+        while !state.draining() {
+            state.refresh_health_gauges();
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // Drain: workers exit once the queue is empty (or trip).
+        let drain_deadline = Instant::now() + state.cfg.shutdown_deadline;
+        let mut drained = true;
+        for handle in worker_handles {
+            let mut finished = handle.is_finished();
+            while !finished && Instant::now() < drain_deadline {
+                std::thread::sleep(Duration::from_millis(10));
+                finished = handle.is_finished();
+            }
+            if finished {
+                let _ = handle.join();
+            } else {
+                drained = false; // worker wedged past the deadline
+            }
+        }
+        drained = drained && state.queue.is_empty();
+        state.stopped.store(true, Ordering::SeqCst);
+        let _ = accept_ingest.join();
+        let _ = accept_http.join();
+
+        // Final flush + fsync of every journal.
+        for (name, stream) in state.sorted_streams() {
+            let mut s = stream.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = s.finalize() {
+                eprintln!("cali-served: finalizing stream '{name}': {e}");
+                drained = false;
+            }
+        }
+
+        let tripped_workers = worker_health.iter().filter(|h| h.tripped()).count();
+        let degraded_streams = state.degraded_streams();
+        state.refresh_health_gauges();
+        let exit_code = if tripped_workers > 0 || !degraded_streams.is_empty() || !drained {
+            2
+        } else {
+            0
+        };
+        ExitSummary {
+            exit_code,
+            degraded_streams,
+            tripped_workers,
+            drained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::IngestClient;
+    use caliper_data::RecordBuilder;
+    use caliper_format::Dataset;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cali-served-server-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg(dir: &std::path::Path) -> ServedConfig {
+        ServedConfig {
+            data_dir: dir.to_path_buf(),
+            aggregate_ops: "count,sum(t)".to_string(),
+            aggregate_key: "kernel".to_string(),
+            ..ServedConfig::default()
+        }
+    }
+
+    fn batch(kernels: &[(&str, i64)]) -> Vec<u8> {
+        let mut ds = Dataset::new();
+        for (kernel, t) in kernels {
+            let rec = RecordBuilder::new(&ds.store)
+                .with("kernel", *kernel)
+                .with("t", *t)
+                .build();
+            let entries = rec
+                .pairs()
+                .iter()
+                .map(|(a, v)| caliper_data::Entry::Imm(*a, v.clone()))
+                .collect();
+            ds.push(caliper_data::SnapshotRecord::from_entries(entries));
+        }
+        caliper_format::cali::to_bytes(&ds)
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut conn =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut body = String::new();
+        use std::io::Read;
+        conn.read_to_string(&mut body).unwrap();
+        let status: u16 = body
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let payload = body
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, payload)
+    }
+
+    fn http_post(addr: SocketAddr, path: &str) -> u16 {
+        let mut conn =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        conn.write_all(format!("POST {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut body = String::new();
+        use std::io::Read;
+        conn.read_to_string(&mut body).unwrap();
+        body.split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line")
+    }
+
+    #[test]
+    fn ingest_query_drain_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let server = Server::bind(cfg(&dir)).unwrap();
+        let ingest = server.ingest_addr();
+        let http = server.http_addr();
+        let runner = std::thread::spawn(move || server.run());
+
+        let mut client = IngestClient::connect(ingest, Duration::from_secs(5)).unwrap();
+        assert!(client.hello("s1").unwrap().is_ok());
+        assert!(client.ping().unwrap().is_ok());
+        let reply = client.send_batch(&batch(&[("a", 10), ("b", 2)])).unwrap();
+        assert_eq!(reply, Reply::Ok("seq=1 records=2".to_string()));
+        let reply = client.send_batch(&batch(&[("a", 5)])).unwrap();
+        assert_eq!(reply, Reply::Ok("seq=2 records=1".to_string()));
+
+        let (status, _) = http_get(http, "/healthz");
+        assert_eq!(status, 200);
+        let (status, ready) = http_get(http, "/readyz");
+        assert_eq!(status, 200, "{ready}");
+
+        let (status, body) = http_get(
+            http,
+            "/query?q=SELECT+kernel,count,sum%23t+ORDER+BY+kernel+FORMAT+csv",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, "kernel,count,sum#t\na,2,15\nb,1,2\n");
+
+        let (status, stats) = http_get(http, "/stats");
+        assert_eq!(status, 200);
+        assert!(stats.contains("served.ingest.accepted=2"), "{stats}");
+        assert!(stats.contains("served.ready=1"), "{stats}");
+
+        assert_eq!(http_post(http, "/shutdown"), 200);
+        let summary = runner.join().unwrap();
+        assert_eq!(summary.exit_code, 0, "{summary:?}");
+        assert!(summary.drained);
+
+        // Restart over the same data dir: recovery must reproduce the
+        // pre-shutdown answer byte-for-byte.
+        let server = Server::bind(cfg(&dir)).unwrap();
+        let http = server.http_addr();
+        let runner = std::thread::spawn(move || server.run());
+        let (status, body2) = http_get(
+            http,
+            "/query?q=SELECT+kernel,count,sum%23t+ORDER+BY+kernel+FORMAT+csv",
+        );
+        assert_eq!(status, 200, "{body2}");
+        assert_eq!(body2, body, "post-recovery result differs");
+        assert_eq!(http_post(http, "/shutdown"), 200);
+        assert_eq!(runner.join().unwrap().exit_code, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_paths_and_bad_queries_are_clean_errors() {
+        let dir = tmpdir("errors");
+        let server = Server::bind(cfg(&dir)).unwrap();
+        let http = server.http_addr();
+        let state = server.state();
+        let runner = std::thread::spawn(move || server.run());
+
+        assert_eq!(http_get(http, "/nope").0, 404);
+        assert_eq!(http_get(http, "/query").0, 400);
+        assert_eq!(http_get(http, "/query?q=AGGREGATE+sum(").0, 400);
+        assert_eq!(http_get(http, "/query?q=SELECT+*&stream=ghost").0, 404);
+
+        state.begin_shutdown();
+        assert_eq!(runner.join().unwrap().exit_code, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

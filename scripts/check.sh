@@ -249,4 +249,64 @@ for seed in 1 2 3; do
     done
 done
 echo "check.sh: chaos smoke: deterministic degraded reads, fuzzed corpus never panics"
+
+# Resident-daemon smoke (docs/SERVED.md): start cali-served, ingest the
+# golden corpus over TCP, query it over HTTP, drain it gracefully
+# (exit 0), restart over the same journals, and verify the recovered
+# answer byte-identically. Every client call carries a socket timeout,
+# so a wedged daemon fails the gate instead of hanging it.
+served=./target/release/cali-served
+sq="SELECT function, count, sum#time.duration, stream ORDER BY stream, function FORMAT csv"
+start_served() {
+    rm -f "$smoke/served-ports"
+    "$served" --data-dir "$smoke/served-data" --ports-file "$smoke/served-ports" \
+        --aggregate "count,sum(time.duration)" --group-by function --fsync \
+        > "$smoke/served.log" 2>&1 &
+    served_pid=$!
+    tries=0
+    while [ ! -s "$smoke/served-ports" ]; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "check.sh: cali-served never wrote its ports file" >&2
+            cat "$smoke/served.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    served_http="127.0.0.1:$(sed -n 's/^http=//p' "$smoke/served-ports")"
+    served_ingest="127.0.0.1:$(sed -n 's/^ingest=//p' "$smoke/served-ports")"
+}
+start_served
+"$served" --http "$served_http" --timeout-ms 10000 --probe /readyz > /dev/null
+"$served" --connect "$served_ingest" --timeout-ms 10000 --stream rank0 \
+    "$golden/data/rank0.cali" > /dev/null
+"$served" --connect "$served_ingest" --timeout-ms 10000 --stream rank1 \
+    "$golden/data/rank1.cali" > /dev/null
+"$served" --http "$served_http" --timeout-ms 10000 --client-query "$sq" \
+    > "$smoke/served-before.csv"
+"$served" --http "$served_http" --timeout-ms 10000 --shutdown > /dev/null
+rc=0
+wait "$served_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "check.sh: cali-served graceful drain exited $rc, expected 0" >&2
+    cat "$smoke/served.log" >&2
+    exit 1
+fi
+start_served
+"$served" --http "$served_http" --timeout-ms 10000 --client-query "$sq" \
+    > "$smoke/served-after.csv"
+"$served" --http "$served_http" --timeout-ms 10000 --shutdown > /dev/null
+wait "$served_pid" || {
+    echo "check.sh: restarted cali-served drain failed" >&2
+    exit 1
+}
+cmp -s "$smoke/served-before.csv" "$smoke/served-after.csv" || {
+    echo "check.sh: cali-served recovered answer differs from pre-restart answer" >&2
+    exit 1
+}
+grep -q "," "$smoke/served-before.csv" || {
+    echo "check.sh: cali-served query returned no data" >&2
+    exit 1
+}
+echo "check.sh: served smoke: ingest->query->drain->restart recovered byte-identically"
 echo "check.sh: all gates passed"
