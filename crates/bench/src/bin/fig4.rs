@@ -27,7 +27,21 @@
 //! and verifies the merged result equals a serial aggregation over
 //! exactly the surviving ranks' files.
 //!
+//! # Synthetic scale mode (`--ranks N`)
+//!
+//! With `--ranks N` the harness instead runs one fault-tolerant tree
+//! reduction over N *simulated* ranks with synthetic per-rank payloads
+//! (no input files — at 16 384 ranks, file I/O would dwarf the thing
+//! being measured). The default `--engine event` is the deterministic
+//! virtual-clock scheduler of `mpisim::sched`: everything written to
+//! stdout — the merged value, the coverage, the event count, the
+//! virtual-clock makespan — is byte-identical across runs and across
+//! `--workers` values, which is exactly what `scripts/check.sh` pins.
+//! Wall-clock time (machine-dependent) goes to stderr.
+//!
 //! Usage: `fig4 [--quick] [--max-np N] [--kill RANK]`
+//!        `fig4 --ranks N [--engine event|threads] [--nodes N]
+//!              [--workers W] [--kills K] [--kill-seed S]`
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -36,7 +50,10 @@ use std::time::Instant;
 use cali_cli::{parallel_query, parallel_query_resilient, read_files};
 use caliper_query::{parse_query, run_query, Pipeline};
 use miniapps::paradis::{self, ParaDisParams, EVALUATION_QUERY};
-use mpisim::{FaultPlan, ResilienceOptions};
+use mpisim::{
+    EventEngine, Executor, FaultPlan, ReduceCoverage, ReduceTask, ResilienceOptions, ThreadEngine,
+    Topology,
+};
 
 /// Run the fault-injected cross-process reduction at `np` ranks, report
 /// coverage, and check the survivors-only equality.
@@ -75,8 +92,95 @@ fn failure_injection_check(paths: &[PathBuf], np: usize, victim: usize) {
     );
 }
 
+/// Numeric flag value, e.g. `flag(&args, "--ranks")`.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Render coverage deterministically: counts plus the full lost set
+/// (compact enough even when a kill strands a large subtree).
+fn coverage_line(c: &ReduceCoverage) -> String {
+    let lost: Vec<String> = c.lost.iter().map(|r| r.to_string()).collect();
+    format!(
+        "included,{},lost,{},lost_ranks,[{}]",
+        c.included.len(),
+        c.lost.len(),
+        lost.join(" ")
+    )
+}
+
+/// The synthetic scale mode: one resilient tree reduction over `ranks`
+/// simulated ranks, payload = rank index, merge = sum. Deterministic
+/// results to stdout, wall-clock to stderr.
+fn synthetic_scale_run(args: &[String], ranks: usize) {
+    let engine_name = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("event");
+    let nodes: usize = flag(args, "--nodes").unwrap_or(1);
+    let workers: usize = flag(args, "--workers").unwrap_or(1);
+    let kills: usize = flag(args, "--kills").unwrap_or(0);
+    let seed: u64 = flag(args, "--kill-seed").unwrap_or(0x5EED);
+    let topology = if nodes > 1 {
+        Topology::two_level_for(ranks, nodes)
+    } else {
+        Topology::Flat
+    };
+    let plan = FaultPlan::seeded_kills(seed, kills, ranks);
+    let opts = ResilienceOptions::default();
+    let make = move |rank: usize, size: usize| {
+        ReduceTask::new(rank, size, topology, move || rank as u64, |a, b| a + b, opts)
+    };
+
+    eprintln!(
+        "# synthetic scale run: {ranks} ranks, engine {engine_name}, {nodes} node(s), \
+         {workers} worker(s), {kills} seeded kill(s) (seed {seed:#x})"
+    );
+    let t = Instant::now();
+    let (root, stats) = match engine_name {
+        "event" => {
+            let engine = EventEngine::with_workers(workers);
+            let (mut outputs, stats) = engine.run_tasks_with_stats(ranks, plan, make);
+            (outputs[0].take(), Some(stats))
+        }
+        "threads" => {
+            assert!(
+                ranks <= 512,
+                "--engine threads spawns one OS thread per rank; use --engine event past 512"
+            );
+            let mut outputs = ThreadEngine.run_tasks(ranks, plan, make);
+            (outputs[0].take(), None)
+        }
+        other => panic!("unknown --engine '{other}' (use 'event' or 'threads')"),
+    };
+    let wall = t.elapsed().as_secs_f64();
+
+    let (sum, coverage) = root
+        .expect("rank 0 is never a seeded victim")
+        .expect("rank 0 is the reduction root");
+    println!("engine,{engine_name},ranks,{ranks},nodes,{nodes},kills,{kills}");
+    println!("sum,{sum}");
+    println!("{}", coverage_line(&coverage));
+    if let Some(stats) = stats {
+        println!(
+            "sched_events,{},virtual_time_ns,{}",
+            stats.events, stats.virtual_time_ns
+        );
+    }
+    eprintln!("# wall: {wall:.3} s");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(ranks) = flag::<usize>(&args, "--ranks") {
+        synthetic_scale_run(&args, ranks);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let max_np: usize = args
         .iter()

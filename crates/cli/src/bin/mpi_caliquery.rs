@@ -12,8 +12,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cali_cli::{parallel_query, parallel_query_resilient, parse_args};
-use mpisim::{FaultPlan, ResilienceOptions};
+use cali_cli::{parallel_query, parallel_query_on, parallel_query_resilient, parse_args};
+use mpisim::{EventEngine, FaultPlan, ResilienceOptions, ThreadEngine, Topology};
 
 const USAGE: &str = "usage: mpi-caliquery --np N [-q QUERY] [--timings] INPUT.cali...
 
@@ -21,11 +21,22 @@ Runs an aggregation query across many Caliper data files in parallel
 (N simulated MPI processes; files are distributed round-robin).
 
 Options:
-  --np N              number of query processes (default: number of inputs)
+  --np, --ranks N     number of query processes (default: number of inputs)
   -q, --query QUERY   the aggregation scheme (must aggregate)
                       default: \"AGGREGATE sum(sum#time.duration),
                       sum(aggregate.count) GROUP BY kernel\"
   --timings           print the per-phase timing breakdown
+  --engine NAME       execution engine: 'threads' (one OS thread per
+                      rank; the default) or 'event' (deterministic
+                      virtual-clock scheduler — use for rank counts in
+                      the thousands)
+  --nodes N           two-level reduction topology: ranks are grouped
+                      into N nodes, each node pre-reduces locally, then
+                      node leaders reduce across nodes (default: flat
+                      binomial tree over all ranks)
+  --workers N         event engine only: worker threads stepping ready
+                      ranks (default 1; results are identical for any
+                      value)
   --faults SPEC       chaos testing: script simulated rank faults with
                       the shared fault grammar, e.g.
                       \"mpi.kill=at(2,0);mpi.delay=at(1,0,20)\" kills
@@ -39,8 +50,55 @@ Exit codes: 0 success, 1 error, 2 success but the result is partial
 (injected faults lost some ranks' contributions).
 ";
 
+/// Print the result and coverage report of an engine-generic run; with
+/// `sched_timings` also the event scheduler's counters (the event
+/// engine's analogue of the threaded path's timing breakdown).
+fn finish_engine_run(
+    run: Result<(caliper_query::QueryResult, cali_cli::ResilientReport), cali_cli::ParallelError>,
+    sched_timings: bool,
+) -> ExitCode {
+    match run {
+        Ok((result, report)) => {
+            print!("{}", result.render());
+            if sched_timings {
+                let m = caliper_data::metrics::global();
+                eprintln!(
+                    "# sched events:          {}",
+                    m.counter_volatile("mpisim.sched.events").get()
+                );
+                eprintln!(
+                    "# sched virtual time:    {} ns",
+                    m.gauge_volatile("mpisim.sched.virtual_time_ns").get()
+                );
+                eprintln!(
+                    "# sched max queue depth: {}",
+                    m.gauge_volatile("mpisim.sched.max_queue_depth").get()
+                );
+            }
+            if report.lost.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "mpi-caliquery: partial result: covers {} of {} ranks; lost ranks {:?}",
+                    report.included.len(),
+                    report.included.len() + report.lost.len(),
+                    report.lost
+                );
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("mpi-caliquery: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1), &["q", "query", "np", "faults"]) {
+    let args = match parse_args(
+        std::env::args().skip(1),
+        &["q", "query", "np", "ranks", "faults", "engine", "nodes", "workers"],
+    ) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("mpi-caliquery: {e}\n{USAGE}");
@@ -55,7 +113,7 @@ fn main() -> ExitCode {
         eprintln!("mpi-caliquery: no input files\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    let np: usize = match args.get(&["np"]) {
+    let np: usize = match args.get(&["np", "ranks"]) {
         Some(v) => match v.parse() {
             Ok(n) if n > 0 => n,
             _ => {
@@ -83,10 +141,68 @@ fn main() -> ExitCode {
         None => FaultPlan::from_global(),
     };
 
+    // Reduction topology: flat binomial tree unless --nodes asks for
+    // the two-level (intra-node, then cross-node) scheme.
+    let topology = match args.get(&["nodes"]) {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(Topology::two_level_for(np, n)),
+            _ => {
+                eprintln!("mpi-caliquery: invalid --nodes '{v}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let workers: usize = match args.get(&["workers"]) {
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("mpi-caliquery: invalid --workers '{v}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1,
+    };
+
     // Round-robin file distribution, one subset per query process.
     let mut per_rank: Vec<Vec<PathBuf>> = vec![Vec::new(); np];
     for (i, path) in args.positional.iter().enumerate() {
         per_rank[i % np].push(PathBuf::from(path));
+    }
+
+    // The event engine — and any two-level topology — routes through
+    // the engine-generic task path; the default threaded flat path
+    // below keeps its per-phase timing harvest.
+    match args.get(&["engine"]).unwrap_or("threads") {
+        "event" => {
+            let engine = EventEngine::with_workers(workers);
+            let run = parallel_query_on(
+                &engine,
+                topology.unwrap_or(Topology::Flat),
+                query,
+                per_rank,
+                plan,
+                ResilienceOptions::default(),
+            );
+            return finish_engine_run(run, args.has(&["timings"]));
+        }
+        "threads" => {
+            if let Some(topology) = topology {
+                let run = parallel_query_on(
+                    &ThreadEngine,
+                    topology,
+                    query,
+                    per_rank,
+                    plan,
+                    ResilienceOptions::default(),
+                );
+                return finish_engine_run(run, false);
+            }
+        }
+        other => {
+            eprintln!("mpi-caliquery: unknown --engine '{other}' (use 'event' or 'threads')");
+            return ExitCode::FAILURE;
+        }
     }
 
     if !plan.is_empty() {

@@ -20,7 +20,8 @@ use std::time::Instant;
 
 use caliper_query::{parse_query, ParseError, Pipeline, QueryResult};
 use mpisim::{
-    gather, reduce_tree_resilient, Comm, FaultPlan, ReduceCoverage, ResilienceOptions,
+    gather, reduce_tree_resilient, Comm, Executor, FaultPlan, ReduceCoverage, ReduceTask,
+    ResilienceOptions, Topology,
 };
 
 use crate::read_files;
@@ -257,6 +258,70 @@ pub fn parallel_query_resilient(
     ))
 }
 
+/// Like [`parallel_query_resilient`], but generic over the execution
+/// [`Executor`] and reduction [`Topology`]: the same fault-tolerant
+/// reduction state machine runs either on the thread engine
+/// ([`mpisim::ThreadEngine`], one OS thread per rank) or on the
+/// event engine ([`mpisim::EventEngine`], a deterministic virtual-clock
+/// scheduler that handles thousands of ranks in one process).
+///
+/// Each rank's local phase (read + aggregate its files) runs lazily
+/// inside its task's first step, so on the event engine the worker pool
+/// parallelizes the file reads. A rank whose input fails to read
+/// poisons its partial result; the error surfaces at the root as
+/// [`ParallelError::Io`] rather than silently shrinking coverage.
+pub fn parallel_query_on<E: Executor>(
+    engine: &E,
+    topology: Topology,
+    query: &str,
+    files_per_rank: Vec<Vec<PathBuf>>,
+    plan: FaultPlan,
+    opts: ResilienceOptions,
+) -> Result<(QueryResult, ResilientReport), ParallelError> {
+    let spec = parse_query(query).map_err(ParallelError::Parse)?;
+    if !spec.is_aggregation() {
+        return Err(ParallelError::NotAnAggregation);
+    }
+    let size = files_per_rank.len().max(1);
+    let spec = Arc::new(spec);
+    let files = Arc::new(files_per_rank);
+
+    let mut outputs = engine.run_tasks(size, plan, move |rank, size| {
+        let spec = Arc::clone(&spec);
+        let files = Arc::clone(&files);
+        ReduceTask::new(
+            rank,
+            size,
+            topology,
+            move || -> Result<Pipeline, String> {
+                let ds = read_files(&files[rank]).map_err(|e| e.to_string())?;
+                let mut pipeline = Pipeline::new((*spec).clone(), Arc::clone(&ds.store));
+                pipeline.process_dataset(&ds);
+                Ok(pipeline)
+            },
+            |a: Result<Pipeline, String>, b| match (a, b) {
+                (Ok(mut acc), Ok(incoming)) => {
+                    acc.merge(incoming);
+                    Ok(acc)
+                }
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            },
+            opts,
+        )
+    });
+
+    let root = outputs
+        .first_mut()
+        .and_then(Option::take)
+        .ok_or_else(|| ParallelError::Io("rank 0 was killed by the fault plan".to_string()))?;
+    let (pipeline, coverage) = root.expect("rank 0 is the reduction root");
+    let pipeline = pipeline.map_err(ParallelError::Io)?;
+    Ok((
+        pipeline.finish(),
+        ResilientReport::from_coverage(coverage),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +423,64 @@ mod tests {
         assert_eq!(plain.to_table().render(), clean.to_table().render());
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engine_generic_query_agrees_across_engines_and_topologies() {
+        let dir = temp_dir("engines");
+        let params = ParaDisParams {
+            iterations: 2,
+            ..Default::default()
+        };
+        let paths = paradis::write_files(&params, 8, &dir).unwrap();
+        let per_rank: Vec<Vec<PathBuf>> = paths.iter().map(|p| vec![p.clone()]).collect();
+        let query = "AGGREGATE sum(sum#time.duration), sum(aggregate.count) GROUP BY kernel";
+
+        let (plain, _) = parallel_query(query, per_rank.clone()).unwrap();
+        let expect = plain.to_table().render();
+
+        let opts = ResilienceOptions::default();
+        for topology in [Topology::Flat, Topology::TwoLevel { ranks_per_node: 3 }] {
+            let (result, report) = parallel_query_on(
+                &mpisim::EventEngine::new(),
+                topology,
+                query,
+                per_rank.clone(),
+                FaultPlan::new(),
+                opts,
+            )
+            .unwrap();
+            assert!(report.lost.is_empty(), "{topology:?}");
+            assert_eq!(result.to_table().render(), expect, "{topology:?}");
+        }
+
+        let (result, report) = parallel_query_on(
+            &mpisim::ThreadEngine,
+            Topology::Flat,
+            query,
+            per_rank,
+            FaultPlan::new(),
+            opts,
+        )
+        .unwrap();
+        assert!(report.lost.is_empty());
+        assert_eq!(result.to_table().render(), expect);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engine_generic_query_reports_read_failures() {
+        let err = parallel_query_on(
+            &mpisim::EventEngine::new(),
+            Topology::Flat,
+            "AGGREGATE count GROUP BY x",
+            vec![vec![PathBuf::from("/nonexistent/file.cali")], vec![]],
+            FaultPlan::new(),
+            ResilienceOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParallelError::Io(_)));
     }
 
     #[test]

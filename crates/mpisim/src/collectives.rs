@@ -17,7 +17,7 @@ const TAG_BASE: Tag = 0xC0DE;
 /// Base tag of the resilient reduction; each tree level uses its own
 /// tag (`TAG_RESIL + level`) so a straggler's late message from one
 /// level can never be mistaken for traffic of a later one.
-const TAG_RESIL: Tag = 0xC0DE + 0x100;
+pub(crate) const TAG_RESIL: Tag = 0xC0DE + 0x100;
 
 /// Binomial-tree reduction toward rank 0. Every rank passes its `value`;
 /// rank 0 returns `Some(combined)`, all other ranks `None`.
@@ -172,7 +172,7 @@ impl ResilienceOptions {
     }
 
     /// The options with timeout and backoff scaled for tree `level`.
-    fn at_level(&self, level: u32) -> ResilienceOptions {
+    pub(crate) fn at_level(&self, level: u32) -> ResilienceOptions {
         let scale = 1u32 << level.min(20); // 2^20 × base ≫ any sane tree
         ResilienceOptions {
             timeout: self.timeout * scale,
@@ -199,26 +199,6 @@ impl ReduceCoverage {
     }
 }
 
-/// Receives one payload with retries per [`ResilienceOptions`].
-/// `Ok(None)` means the partner is presumed lost (every attempt timed
-/// out); hard disconnects (world shutdown) still propagate as errors.
-fn recv_with_retries<T: Send + 'static>(
-    comm: &mut Comm,
-    src: usize,
-    tag: Tag,
-    opts: &ResilienceOptions,
-) -> Result<Option<T>, CommError> {
-    for attempt in 0..=opts.retries {
-        let wait = opts.timeout + opts.backoff * attempt;
-        match comm.recv_timeout::<T>(src, tag, wait) {
-            Ok(v) => return Ok(Some(v)),
-            Err(CommError::Timeout { .. }) => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(None)
-}
-
 /// Fault-tolerant binomial-tree reduction toward rank 0: dead subtrees
 /// are routed around instead of deadlocking or aborting the survivors.
 ///
@@ -242,57 +222,30 @@ fn recv_with_retries<T: Send + 'static>(
 /// tree order restricted to surviving subtrees, so for a fixed set of
 /// lost ranks the merged value equals a serial reduction over
 /// `coverage.included` in rank order (given associative `merge`).
+///
+/// The protocol itself lives in [`ReduceTask`](crate::task::ReduceTask)
+/// — this function merely drives that state machine against the calling
+/// rank's blocking [`Comm`], so the thread engine and the event engine
+/// execute the exact same collective code.
 pub fn reduce_tree_resilient<T, F>(
     comm: &mut Comm,
     value: T,
-    mut merge: F,
+    merge: F,
     opts: &ResilienceOptions,
 ) -> Result<Option<(T, ReduceCoverage)>, CommError>
 where
     T: Send + 'static,
-    F: FnMut(T, T) -> T,
+    F: FnMut(T, T) -> T + Send + 'static,
 {
-    let rank = comm.rank();
-    let size = comm.size();
-    let mut acc = value;
-    let mut included = vec![rank];
-    let mut step = 1usize;
-    let mut level: Tag = 0;
-    while step < size {
-        let tag = TAG_RESIL + level;
-        if rank.is_multiple_of(2 * step) {
-            let partner = rank + step;
-            if partner < size {
-                let level_opts = opts.at_level(level);
-                match recv_with_retries::<(T, Vec<usize>)>(comm, partner, tag, &level_opts)? {
-                    Some((incoming, their_ranks)) => {
-                        acc = merge(acc, incoming);
-                        included.extend(their_ranks);
-                    }
-                    None => {
-                        // Partner presumed dead; continue without its
-                        // subtree. The root's coverage report charges
-                        // the loss, as the subtree's ranks never enter
-                        // any `included` list.
-                    }
-                }
-            }
-        } else {
-            let parent = rank - step;
-            // A failed send means the parent is already dead: this
-            // rank's subtree is stranded and will show up in the root's
-            // lost set. That is exactly the semantics we want, so the
-            // error is not propagated — the rank simply retires.
-            let _ = comm.send(parent, tag, (acc, included));
-            return Ok(None);
-        }
-        step *= 2;
-        level += 1;
-    }
-    included.sort_unstable();
-    included.dedup();
-    let lost = (0..size).filter(|r| !included.contains(r)).collect();
-    Ok(Some((acc, ReduceCoverage { included, lost })))
+    let task = crate::task::ReduceTask::new(
+        comm.rank(),
+        comm.size(),
+        crate::task::Topology::Flat,
+        move || value,
+        merge,
+        *opts,
+    );
+    Ok(crate::world::drive_task(comm, task))
 }
 
 /// Binomial-tree broadcast from rank 0.

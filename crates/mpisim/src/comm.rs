@@ -24,7 +24,6 @@
 //!   [`recv_timeout`](Comm::recv_timeout), which turns the silent peer
 //!   into a [`CommError::Timeout`].
 
-use std::any::Any;
 use std::cell::Cell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,15 +31,15 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::fault::{FaultPlan, RankKilled};
+use crate::task::{Msg, Payload};
 
 /// Message tag (as in MPI).
 pub type Tag = u32;
 
-pub(crate) struct Packet {
-    pub src: usize,
-    pub tag: Tag,
-    pub payload: Box<dyn Any + Send>,
-}
+/// What travels over the channels: the same [`Msg`] the task layer
+/// sees, so [`drive_task`](crate::world::drive_task) forwards payloads
+/// without re-boxing.
+pub(crate) type Packet = Msg;
 
 /// A point-to-point communication failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,14 +173,21 @@ impl Comm {
     /// Send `value` to `dest` with `tag`. Non-blocking (buffered send).
     /// Fails with [`CommError::Disconnected`] if `dest` has shut down.
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> Result<(), CommError> {
+        self.send_payload(dest, tag, Box::new(value))
+    }
+
+    /// Type-erased send — the form the task layer
+    /// ([`TaskCtx`](crate::task::TaskCtx)) uses, so a payload boxed once
+    /// by a state machine travels to the channel without re-boxing.
+    /// Counts as one fault-plan op, like any other communication.
+    pub fn send_payload(&self, dest: usize, tag: Tag, payload: Payload) -> Result<(), CommError> {
         assert!(dest < self.size, "send to rank {dest} out of range");
         self.fault_point();
-        let sent = self
-            .inboxes[dest]
-            .send(Packet {
+        let sent = self.inboxes[dest]
+            .send(Msg {
                 src: self.rank,
                 tag,
-                payload: Box::new(value),
+                payload,
             })
             .map_err(|_| CommError::disconnected(format!("send to rank {dest}")));
         if sent.is_ok() {
@@ -190,6 +196,19 @@ impl Comm {
                 .inc();
         }
         sent
+    }
+
+    /// Type-erased receive: blocks (bounded by `timeout` when given)
+    /// until a message matching `(src, tag)` arrives and returns it
+    /// whole. The task layer's receive path; typed wrappers below
+    /// downcast on top of it.
+    pub fn recv_msg(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Msg, CommError> {
+        self.recv_packet(src, tag, timeout)
     }
 
     fn take_pending(&mut self, src: Option<usize>, tag: Tag) -> Option<Packet> {

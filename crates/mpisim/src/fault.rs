@@ -129,6 +129,41 @@ impl FaultPlan {
         !self.kills.is_empty()
     }
 
+    /// A reproducible plan of `kills` distinct victims for a world of
+    /// `size` ranks, derived from `seed` with a splitmix64 stream.
+    /// Victims are drawn from `1..size` (never the root, whose death
+    /// would make a root-reduction vacuous) and each dies within its
+    /// first three communication ops. Same `(seed, kills, size)` →
+    /// same plan, on every platform — the seed the scaled determinism
+    /// smokes and the fig4 `--kill-seed` flag build on.
+    pub fn seeded_kills(seed: u64, kills: usize, size: usize) -> FaultPlan {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut plan = FaultPlan::new();
+        if size < 2 {
+            return plan;
+        }
+        let mut state = seed;
+        let mut victims = Vec::new();
+        // Bounded draw loop: at most size-1 distinct victims exist.
+        while victims.len() < kills.min(size - 1) {
+            let rank = 1 + (splitmix64(&mut state) % (size as u64 - 1)) as usize;
+            if !victims.contains(&rank) {
+                victims.push(rank);
+            }
+        }
+        for rank in victims {
+            let op = splitmix64(&mut state) % 3;
+            plan = plan.kill(rank, op);
+        }
+        plan
+    }
+
     pub(crate) fn kill_at(&self, rank: usize, op: u64) -> bool {
         self.kills.iter().any(|&(r, o)| r == rank && o == op)
     }
@@ -171,5 +206,27 @@ mod tests {
     #[test]
     fn from_spec_rejects_bad_grammar() {
         assert!(FaultPlan::from_spec("mpi.kill=at(x,0)").is_err());
+    }
+
+    #[test]
+    fn seeded_kills_is_reproducible_and_spares_the_root() {
+        let a = FaultPlan::seeded_kills(7, 5, 1024);
+        let b = FaultPlan::seeded_kills(7, 5, 1024);
+        assert_eq!(a.kills, b.kills);
+        assert_eq!(a.kills.len(), 5);
+        assert!(a.kills.iter().all(|&(r, op)| (1..1024).contains(&r) && op < 3));
+        let mut victims: Vec<usize> = a.kills.iter().map(|&(r, _)| r).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 5, "victims are distinct");
+        let c = FaultPlan::seeded_kills(8, 5, 1024);
+        assert_ne!(a.kills, c.kills, "different seed, different plan");
+    }
+
+    #[test]
+    fn seeded_kills_caps_at_world_size() {
+        let plan = FaultPlan::seeded_kills(1, 100, 4);
+        assert_eq!(plan.kills.len(), 3, "at most size-1 victims");
+        assert!(FaultPlan::seeded_kills(1, 3, 1).is_empty());
     }
 }

@@ -2,10 +2,23 @@
 //!
 //! The paper evaluates cross-process aggregation with an MPI-based
 //! parallel query application on LLNL's Quartz cluster. This crate is
-//! the laptop-scale substitute (see DESIGN.md §3): ranks are OS threads,
-//! links are crossbeam channels, and the collectives — most importantly
-//! the binomial-tree reduction of §IV-C — are implemented verbatim on
-//! top of point-to-point messages.
+//! the laptop-scale substitute (see DESIGN.md §3), with two execution
+//! engines behind the [`Executor`] trait:
+//!
+//! * the **thread engine** ([`ThreadEngine`], and the [`run`] /
+//!   [`run_with_faults`] closures API): ranks are OS threads, links are
+//!   crossbeam channels, timeouts cost wall-clock time. Faithful, but
+//!   capped at a few hundred ranks.
+//! * the **event engine** ([`EventEngine`]): ranks are resumable state
+//!   machines ([`RankTask`]) advanced by a deterministic virtual-clock
+//!   event loop (see DESIGN.md §12), so timeouts and scripted delays
+//!   cost zero wall-clock time and 16 000-rank reductions finish in
+//!   seconds.
+//!
+//! The collectives — most importantly the binomial-tree reduction of
+//! the paper's §IV-C — are implemented on top of point-to-point
+//! messages; the fault-tolerant reduction exists exactly once, as the
+//! [`ReduceTask`] state machine both engines drive.
 //!
 //! Beyond the fault-free collectives, the crate models *failure*: a
 //! [`FaultPlan`] scripts rank deaths and delays deterministically
@@ -30,6 +43,8 @@
 pub mod collectives;
 pub mod comm;
 pub mod fault;
+pub mod sched;
+pub mod task;
 pub mod world;
 
 pub use collectives::{
@@ -38,4 +53,6 @@ pub use collectives::{
 };
 pub use comm::{Comm, CommError, Tag};
 pub use fault::FaultPlan;
-pub use world::{run, run_with_faults};
+pub use sched::{EventEngine, SchedConfig, SchedStats};
+pub use task::{Action, Executor, Msg, Payload, RankTask, ReduceTask, TaskCtx, Topology, Wake};
+pub use world::{drive_task, run, run_with_faults, ThreadEngine};

@@ -1,0 +1,791 @@
+//! The event-driven world: a deterministic virtual-clock scheduler.
+//!
+//! Where the thread engine gives every rank an OS thread and pays wall
+//! clock for every timeout, the [`EventEngine`] runs all ranks inside
+//! one event loop on a **virtual clock**:
+//!
+//! * virtual time is a `u64` nanosecond counter that only ever jumps to
+//!   the timestamp of the next scheduled event — nothing sleeps;
+//! * a send is stamped at the sender's local virtual time and delivered
+//!   `latency` later as a heap event;
+//! * a bounded receive registers a **timer event** at its virtual
+//!   deadline — timeouts are first-class events, so a reduction that
+//!   waits out seconds of (virtual) timeout budget for dead partners
+//!   completes in microseconds of wall-clock time, with zero spinning;
+//! * scripted [`FaultPlan`] delays advance the rank's local clock
+//!   instead of sleeping, and kills drop the rank's task at exactly the
+//!   scripted communication op.
+//!
+//! # Determinism
+//!
+//! Events are ordered by `(virtual time, sequence number)`; sequence
+//! numbers are assigned in deterministic (rank-ascending) order when
+//! effects are applied. All events sharing the minimal timestamp form a
+//! **batch**: their tasks are stepped — possibly in parallel on a
+//! bounded worker pool — against an immutable snapshot of the batch
+//! start state, and their effects (sends, timers, deaths) are applied
+//! in rank order afterwards. Worker-pool size therefore cannot change
+//! any outcome: runs are byte-identical for 1, 2, or N workers, and the
+//! event count and final virtual time are identical too (pinned by the
+//! determinism tests).
+//!
+//! # Virtual deadlock
+//!
+//! If the event heap drains while live tasks still wait without a
+//! timeout, no message can ever arrive: the scheduler panics with a
+//! "virtual deadlock" diagnostic instead of hanging — the event-loop
+//! analogue of the thread engine's watchdog-guarded deadlock tests.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::panic::AssertUnwindSafe;
+
+use crate::comm::{CommError, Tag};
+use crate::fault::{FaultPlan, RankKilled};
+use crate::task::{Action, Executor, Msg, Payload, RankTask, TaskCtx, Wake};
+
+/// Virtual time, in nanoseconds since the start of the run.
+pub type SimTime = u64;
+
+/// Tuning knobs for the [`EventEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Worker threads stepping ready tasks within one batch. `0` and
+    /// `1` both mean the single-threaded core. Pool size never changes
+    /// results — only wall-clock time.
+    pub workers: usize,
+    /// Virtual delivery latency per message, in nanoseconds (≥ 1 so a
+    /// message can never arrive in the batch that sent it).
+    pub latency_ns: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            workers: 1,
+            latency_ns: 1_000,
+        }
+    }
+}
+
+/// What one event-engine run did, in virtual-clock terms. Everything
+/// here is deterministic for a fixed (size, plan, tasks, latency)
+/// tuple, independent of the worker-pool size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events processed (messages delivered, timers fired, rank
+    /// starts), including stale timers skipped after their receive was
+    /// satisfied.
+    pub events: u64,
+    /// Virtual timestamp of the last *acted-upon* event — the virtual
+    /// makespan of the run (stale timers do not extend it).
+    pub virtual_time_ns: SimTime,
+    /// High-water mark of the event heap.
+    pub max_queue_depth: usize,
+    /// Messages sent (and accepted for delivery).
+    pub messages: u64,
+    /// Messages dropped because the destination died before delivery.
+    pub dropped: u64,
+    /// Timer events that woke a task with [`Wake::Timeout`].
+    pub timeouts: u64,
+    /// Timer events skipped because their receive had been satisfied.
+    pub stale_timers: u64,
+    /// Ranks killed by the fault plan.
+    pub ranks_lost: u64,
+}
+
+/// The event-driven executor. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventEngine {
+    /// Scheduler configuration.
+    pub config: SchedConfig,
+}
+
+impl EventEngine {
+    /// Engine with the default configuration (single-threaded core,
+    /// 1 µs message latency).
+    pub fn new() -> EventEngine {
+        EventEngine::default()
+    }
+
+    /// Engine with a bounded worker pool of `workers` threads.
+    pub fn with_workers(workers: usize) -> EventEngine {
+        EventEngine {
+            config: SchedConfig {
+                workers,
+                ..SchedConfig::default()
+            },
+        }
+    }
+}
+
+/// A scheduled event. Ordered by `(time, seq)` — `seq` makes the order
+/// total and deterministic.
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+enum EvKind {
+    /// Initial wake of `rank` at time 0.
+    Start { rank: usize },
+    /// Deliver a message to `dest`.
+    Deliver { dest: usize, msg: Msg },
+    /// A receive deadline for `rank`; stale if `gen` no longer matches.
+    Timer { rank: usize, gen: u64 },
+}
+
+impl EvKind {
+    fn rank(&self) -> usize {
+        match *self {
+            EvKind::Start { rank } | EvKind::Timer { rank, .. } => rank,
+            EvKind::Deliver { dest, .. } => dest,
+        }
+    }
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Ev) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Ev) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    /// Reversed so the `BinaryHeap` pops the *earliest* event.
+    fn cmp(&self, other: &Ev) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// An active bounded or unbounded receive.
+struct Wait {
+    src: Option<usize>,
+    tag: Tag,
+}
+
+impl Wait {
+    fn matches(&self, msg: &Msg) -> bool {
+        msg.tag == self.tag && self.src.map(|s| s == msg.src).unwrap_or(true)
+    }
+}
+
+/// Everything the scheduler tracks per rank.
+struct RankState<T: RankTask> {
+    task: Option<T>,
+    out: Option<T::Out>,
+    /// Delivered but unmatched messages, in delivery order.
+    buffer: Vec<Msg>,
+    wait: Option<Wait>,
+    /// Bumped on every new registered wait; timers carry the
+    /// generation they were armed for, so satisfied waits make their
+    /// timers stale instead of firing.
+    wait_gen: u64,
+    /// The rank's local virtual clock: max of the global clock and any
+    /// scripted delays it has served. Sends and deadlines are stamped
+    /// with this, so a delayed rank's messages arrive late — exactly
+    /// like a straggler thread, minus the wall-clock sleep.
+    local_now: SimTime,
+    /// Communication ops issued — the [`FaultPlan`] time axis.
+    ops: u64,
+    alive: bool,
+    done: bool,
+}
+
+impl<T: RankTask> RankState<T> {
+    fn new(task: T) -> RankState<T> {
+        RankState {
+            task: Some(task),
+            out: None,
+            buffer: Vec::new(),
+            wait: None,
+            wait_gen: 0,
+            local_now: 0,
+            ops: 0,
+            alive: true,
+            done: false,
+        }
+    }
+
+    /// Placeholder used to move a state into a worker and back.
+    fn vacant() -> RankState<T> {
+        RankState {
+            task: None,
+            out: None,
+            buffer: Vec::new(),
+            wait: None,
+            wait_gen: 0,
+            local_now: 0,
+            ops: 0,
+            alive: false,
+            done: false,
+        }
+    }
+}
+
+/// An outgoing message buffered during a step, stamped with the
+/// sender's local virtual time.
+struct OutMsg {
+    at: SimTime,
+    dest: usize,
+    src: usize,
+    tag: Tag,
+    payload: Payload,
+}
+
+/// Deterministically ordered side effects of stepping one rank.
+#[derive(Default)]
+struct Effects {
+    sends: Vec<OutMsg>,
+    /// `(deadline, generation)` timers to arm.
+    timers: Vec<(SimTime, u64)>,
+    /// Local tallies folded into [`SchedStats`] at apply time.
+    dropped: u64,
+    timeouts: u64,
+    stale_timers: u64,
+    died: bool,
+}
+
+/// The [`TaskCtx`] a task sees while stepped by the event engine.
+struct EventCtx<'a> {
+    rank: usize,
+    size: usize,
+    ops: &'a mut u64,
+    local_now: &'a mut SimTime,
+    plan: &'a FaultPlan,
+    /// Liveness snapshot at batch start: sends observe it, so results
+    /// are independent of intra-batch stepping order.
+    alive: &'a [bool],
+    effects: &'a mut Effects,
+}
+
+impl TaskCtx for EventCtx<'_> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, dest: usize, tag: Tag, payload: Payload) -> Result<(), CommError> {
+        assert!(dest < self.size, "send to rank {dest} out of range");
+        let op = *self.ops;
+        *self.ops += 1;
+        if let Some(d) = self.plan.delay_at(self.rank, op) {
+            *self.local_now += d.as_nanos() as SimTime;
+        }
+        if self.plan.kill_at(self.rank, op) {
+            std::panic::panic_any(RankKilled);
+        }
+        if !self.alive[dest] {
+            return Err(CommError::disconnected(format!("send to rank {dest}")));
+        }
+        self.effects.sends.push(OutMsg {
+            at: *self.local_now,
+            dest,
+            src: self.rank,
+            tag,
+            payload,
+        });
+        Ok(())
+    }
+}
+
+/// Steps `state`'s task until it blocks (registering a wait and
+/// possibly a timer in `effects`), finishes, or dies.
+fn feed<T: RankTask>(
+    state: &mut RankState<T>,
+    mut wake: Wake,
+    size: usize,
+    plan: &FaultPlan,
+    alive: &[bool],
+    effects: &mut Effects,
+    rank: usize,
+) {
+    loop {
+        let RankState {
+            task,
+            ops,
+            local_now,
+            ..
+        } = &mut *state;
+        let Some(task) = task.as_mut() else { return };
+        let mut ctx = EventCtx {
+            rank,
+            size,
+            ops,
+            local_now,
+            plan,
+            alive,
+            effects,
+        };
+        let action = match std::panic::catch_unwind(AssertUnwindSafe(|| task.step(&mut ctx, wake)))
+        {
+            Ok(action) => action,
+            Err(payload) if payload.is::<RankKilled>() => {
+                state.task = None;
+                state.alive = false;
+                state.wait = None;
+                state.buffer.clear();
+                effects.died = true;
+                return;
+            }
+            // A genuine bug in task code: propagate, as the thread
+            // engine does — fault injection must not swallow it.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        match action {
+            Action::Done => {
+                let task = state.task.take().expect("task present");
+                state.out = Some(task.into_output());
+                state.done = true;
+                return;
+            }
+            Action::Recv { src, tag, timeout } => {
+                // The receive is a communication op: the fault point
+                // fires before any matching, like `Comm::recv*`.
+                let op = state.ops;
+                state.ops += 1;
+                if let Some(d) = plan.delay_at(rank, op) {
+                    state.local_now += d.as_nanos() as SimTime;
+                }
+                if plan.kill_at(rank, op) {
+                    state.task = None;
+                    state.alive = false;
+                    state.wait = None;
+                    state.buffer.clear();
+                    effects.died = true;
+                    return;
+                }
+                let wait = Wait { src, tag };
+                if let Some(i) = state.buffer.iter().position(|m| wait.matches(m)) {
+                    wake = Wake::Message(state.buffer.remove(i));
+                    continue;
+                }
+                state.wait_gen += 1;
+                if let Some(t) = timeout {
+                    let deadline = state
+                        .local_now
+                        .saturating_add(t.as_nanos().min(u128::from(u64::MAX)) as SimTime);
+                    effects.timers.push((deadline, state.wait_gen));
+                }
+                state.wait = Some(wait);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one popped event into the rank's state, stepping the task as
+/// far as it will go. The rank's local clock first catches up to the
+/// event's timestamp, so sends it performs are stamped no earlier than
+/// the wake that caused them and timer deadlines are always in the
+/// future — which also makes the final virtual time a true makespan
+/// (one latency per tree level, plus any timeout budgets waited out).
+fn process_event<T: RankTask>(
+    state: &mut RankState<T>,
+    now: SimTime,
+    kind: EvKind,
+    size: usize,
+    plan: &FaultPlan,
+    alive: &[bool],
+    effects: &mut Effects,
+) {
+    state.local_now = state.local_now.max(now);
+    let rank = kind.rank();
+    match kind {
+        EvKind::Start { .. } => feed(state, Wake::Start, size, plan, alive, effects, rank),
+        EvKind::Deliver { msg, .. } => {
+            if !state.alive || state.done {
+                // The thread-engine analogue: a send that raced the
+                // destination's death succeeded, and the message is
+                // simply lost.
+                effects.dropped += 1;
+                return;
+            }
+            match &state.wait {
+                Some(w) if w.matches(&msg) => {
+                    state.wait = None;
+                    feed(state, Wake::Message(msg), size, plan, alive, effects, rank);
+                }
+                _ => state.buffer.push(msg),
+            }
+        }
+        EvKind::Timer { gen, .. } => {
+            if state.alive && !state.done && state.wait.is_some() && gen == state.wait_gen {
+                state.wait = None;
+                effects.timeouts += 1;
+                feed(state, Wake::Timeout, size, plan, alive, effects, rank);
+            } else {
+                effects.stale_timers += 1;
+            }
+        }
+    }
+}
+
+impl EventEngine {
+    /// Like [`Executor::run_tasks`], but also returns the run's
+    /// [`SchedStats`].
+    pub fn run_tasks_with_stats<T, F>(
+        &self,
+        size: usize,
+        plan: FaultPlan,
+        make: F,
+    ) -> (Vec<Option<T::Out>>, SchedStats)
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T,
+    {
+        assert!(size > 0, "world size must be positive");
+        let latency = self.config.latency_ns.max(1);
+        let workers = self.config.workers.max(1);
+        let mut stats = SchedStats::default();
+
+        let mut states: Vec<RankState<T>> =
+            (0..size).map(|rank| RankState::new(make(rank, size))).collect();
+        let mut heap: BinaryHeap<Ev> = BinaryHeap::with_capacity(size * 2);
+        let mut next_seq: u64 = 0;
+        for rank in 0..size {
+            heap.push(Ev {
+                time: 0,
+                seq: next_seq,
+                kind: EvKind::Start { rank },
+            });
+            next_seq += 1;
+        }
+        stats.max_queue_depth = heap.len();
+
+        while let Some(first) = heap.pop() {
+            // --- collect the batch: every event at the minimal time ---
+            let now = first.time;
+            let mut batch = vec![first];
+            while heap.peek().map(|ev| ev.time == now).unwrap_or(false) {
+                batch.push(heap.pop().expect("peeked"));
+            }
+            let batch_len = batch.len() as u64;
+            stats.events += batch_len;
+
+            // --- group per rank, preserving (time, seq) order ---
+            let mut work: Vec<(usize, Vec<EvKind>)> = Vec::new();
+            for ev in batch {
+                let rank = ev.kind.rank();
+                match work.iter_mut().find(|(r, _)| *r == rank) {
+                    Some((_, kinds)) => kinds.push(ev.kind),
+                    None => work.push((rank, vec![ev.kind])),
+                }
+            }
+            work.sort_by_key(|&(rank, _)| rank);
+
+            // --- snapshot liveness; step the batch's ranks ---
+            let alive: Vec<bool> = states.iter().map(|s| s.alive).collect();
+            let mut stepped: Vec<(usize, RankState<T>, Effects)> =
+                if workers <= 1 || work.len() <= 1 {
+                    work.into_iter()
+                        .map(|(rank, kinds)| {
+                            let mut state =
+                                std::mem::replace(&mut states[rank], RankState::vacant());
+                            let mut effects = Effects::default();
+                            for kind in kinds {
+                                process_event(
+                                    &mut state, now, kind, size, &plan, &alive, &mut effects,
+                                );
+                            }
+                            (rank, state, effects)
+                        })
+                        .collect()
+                } else {
+                    let mut taken: Vec<(usize, RankState<T>, Vec<EvKind>)> = work
+                        .into_iter()
+                        .map(|(rank, kinds)| {
+                            let state = std::mem::replace(&mut states[rank], RankState::vacant());
+                            (rank, state, kinds)
+                        })
+                        .collect();
+                    let chunk = taken.len().div_ceil(workers);
+                    let plan = &plan;
+                    let alive = &alive[..];
+                    let results: Vec<Vec<(usize, RankState<T>, Effects)>> =
+                        std::thread::scope(|scope| {
+                            let mut handles = Vec::new();
+                            while !taken.is_empty() {
+                                let rest = taken.split_off(chunk.min(taken.len()));
+                                let mine = std::mem::replace(&mut taken, rest);
+                                handles.push(scope.spawn(move || {
+                                    mine.into_iter()
+                                        .map(|(rank, mut state, kinds)| {
+                                            let mut effects = Effects::default();
+                                            for kind in kinds {
+                                                process_event(
+                                                    &mut state, now, kind, size, plan, alive,
+                                                    &mut effects,
+                                                );
+                                            }
+                                            (rank, state, effects)
+                                        })
+                                        .collect()
+                                }));
+                            }
+                            handles
+                                .into_iter()
+                                .map(|h| match h.join() {
+                                    Ok(v) => v,
+                                    Err(e) => std::panic::resume_unwind(e),
+                                })
+                                .collect()
+                        });
+                    results.into_iter().flatten().collect()
+                };
+
+            // --- apply effects in rank order: deterministic seqs ---
+            stepped.sort_by_key(|&(rank, _, _)| rank);
+            let mut stale_in_batch = 0u64;
+            for (rank, state, effects) in stepped {
+                stale_in_batch += effects.stale_timers;
+                stats.dropped += effects.dropped;
+                stats.timeouts += effects.timeouts;
+                stats.stale_timers += effects.stale_timers;
+                if effects.died {
+                    stats.ranks_lost += 1;
+                }
+                for out in effects.sends {
+                    stats.messages += 1;
+                    heap.push(Ev {
+                        time: out.at + latency,
+                        seq: next_seq,
+                        kind: EvKind::Deliver {
+                            dest: out.dest,
+                            msg: Msg {
+                                src: out.src,
+                                tag: out.tag,
+                                payload: out.payload,
+                            },
+                        },
+                    });
+                    next_seq += 1;
+                }
+                for (deadline, gen) in effects.timers {
+                    heap.push(Ev {
+                        time: deadline,
+                        seq: next_seq,
+                        kind: EvKind::Timer { rank, gen },
+                    });
+                    next_seq += 1;
+                }
+                states[rank] = state;
+            }
+            // Stale timers fire after their receive was satisfied;
+            // a batch of nothing else must not stretch the makespan.
+            if stale_in_batch < batch_len {
+                stats.virtual_time_ns = stats.virtual_time_ns.max(now);
+            }
+            stats.max_queue_depth = stats.max_queue_depth.max(heap.len());
+        }
+
+        // --- heap drained: every live task must have finished ---
+        let blocked: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && !s.done)
+            .map(|(r, _)| r)
+            .collect();
+        assert!(
+            blocked.is_empty(),
+            "virtual deadlock: ranks {blocked:?} wait on messages that can never arrive \
+             (no events left at virtual time {} ns)",
+            stats.virtual_time_ns
+        );
+
+        let metrics = caliper_data::metrics::global();
+        metrics.counter_volatile("mpisim.sched.events").add(stats.events);
+        metrics
+            .gauge_volatile("mpisim.sched.virtual_time_ns")
+            .set(stats.virtual_time_ns);
+        metrics
+            .gauge_volatile("mpisim.sched.max_queue_depth")
+            .set_max(stats.max_queue_depth as u64);
+        metrics
+            .counter_volatile("mpisim.comm.messages")
+            .add(stats.messages);
+        metrics
+            .counter_volatile("mpisim.comm.timeouts")
+            .add(stats.timeouts);
+        metrics
+            .counter_volatile("mpisim.ranks_lost")
+            .add(stats.ranks_lost);
+
+        let outs = states.into_iter().map(|s| s.out).collect();
+        (outs, stats)
+    }
+}
+
+impl Executor for EventEngine {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn run_tasks<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> Vec<Option<T::Out>>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        self.run_tasks_with_stats(size, plan, make).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ResilienceOptions;
+    use crate::task::{ReduceTask, Topology};
+    use std::time::Duration;
+
+    type SumOutputs = Vec<Option<Option<(u64, crate::ReduceCoverage)>>>;
+
+    fn sum_reduce(
+        engine: &EventEngine,
+        size: usize,
+        plan: FaultPlan,
+        topology: Topology,
+        opts: ResilienceOptions,
+    ) -> (SumOutputs, SchedStats) {
+        engine.run_tasks_with_stats(size, plan, move |rank, size| {
+            ReduceTask::new(
+                rank,
+                size,
+                topology,
+                move || rank as u64,
+                |a: u64, b: u64| a + b,
+                opts,
+            )
+        })
+    }
+
+    #[test]
+    fn clean_reduction_sums_every_rank() {
+        for size in [1usize, 2, 3, 5, 8, 13, 64, 100] {
+            let (outs, stats) = sum_reduce(
+                &EventEngine::new(),
+                size,
+                FaultPlan::new(),
+                Topology::Flat,
+                ResilienceOptions::default(),
+            );
+            let (total, coverage) = outs[0].as_ref().unwrap().as_ref().unwrap().clone();
+            assert_eq!(total, (0..size as u64).sum::<u64>(), "size {size}");
+            assert!(coverage.is_complete());
+            assert!(outs[1..].iter().all(|o| o.as_ref().unwrap().is_none()));
+            assert_eq!(stats.messages, size as u64 - 1);
+            assert_eq!(stats.ranks_lost, 0);
+        }
+    }
+
+    #[test]
+    fn killed_subtree_is_charged_exactly() {
+        // Rank 4 of 8 dies before doing anything: its subtree {4..8}
+        // never reaches the root.
+        let (outs, stats) = sum_reduce(
+            &EventEngine::new(),
+            8,
+            FaultPlan::new().kill(4, 0),
+            Topology::Flat,
+            ResilienceOptions::default(),
+        );
+        let (total, coverage) = outs[0].as_ref().unwrap().as_ref().unwrap().clone();
+        assert_eq!(coverage.included, vec![0, 1, 2, 3]);
+        assert_eq!(coverage.lost, vec![4, 5, 6, 7]);
+        assert_eq!(total, 6, "sum of the surviving ranks 0..4");
+        assert!(outs[4].is_none(), "killed rank yields None");
+        assert_eq!(stats.ranks_lost, 1);
+        assert!(stats.timeouts > 0, "the root must wait out virtual timeouts");
+    }
+
+    #[test]
+    fn virtual_delays_cost_no_wall_clock() {
+        // A 90-second (virtual) straggler: the run must still finish
+        // promptly in wall-clock terms and with full coverage.
+        let wall = std::time::Instant::now();
+        let opts = ResilienceOptions {
+            timeout: Duration::from_secs(300),
+            retries: 1,
+            backoff: Duration::from_secs(10),
+        };
+        let (outs, stats) = sum_reduce(
+            &EventEngine::new(),
+            2,
+            FaultPlan::new().delay(1, 0, Duration::from_secs(90)),
+            Topology::Flat,
+            opts,
+        );
+        let (total, coverage) = outs[0].as_ref().unwrap().as_ref().unwrap().clone();
+        assert_eq!(total, 1);
+        assert!(coverage.is_complete());
+        assert!(stats.virtual_time_ns >= 90_000_000_000);
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "virtual waits must not spin wall-clock time"
+        );
+    }
+
+    #[test]
+    fn two_level_topology_reduces_everything() {
+        for (size, nodes) in [(8, 2), (13, 4), (64, 8), (100, 7)] {
+            let topo = Topology::two_level_for(size, nodes);
+            let (outs, _) = sum_reduce(
+                &EventEngine::new(),
+                size,
+                FaultPlan::new(),
+                topo,
+                ResilienceOptions::default(),
+            );
+            let (total, coverage) = outs[0].as_ref().unwrap().as_ref().unwrap().clone();
+            assert_eq!(total, (0..size as u64).sum::<u64>(), "size {size}");
+            assert!(coverage.is_complete(), "size {size} nodes {nodes}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_size_changes_nothing() {
+        let run = |workers: usize| {
+            let (outs, stats) = sum_reduce(
+                &EventEngine::with_workers(workers),
+                64,
+                FaultPlan::new().kill(9, 1).delay(3, 0, Duration::from_millis(2)),
+                Topology::TwoLevel { ranks_per_node: 8 },
+                ResilienceOptions::default(),
+            );
+            (format!("{outs:?}"), stats)
+        };
+        let (base_out, base_stats) = run(1);
+        for workers in [2, 4] {
+            let (out, stats) = run(workers);
+            assert_eq!(out, base_out, "workers {workers}");
+            assert_eq!(stats, base_stats, "workers {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual deadlock")]
+    fn unbounded_wait_with_no_sender_is_a_virtual_deadlock() {
+        struct WaitForever;
+        impl RankTask for WaitForever {
+            type Out = ();
+            fn step(&mut self, _ctx: &mut dyn TaskCtx, _wake: Wake) -> Action {
+                Action::Recv {
+                    src: None,
+                    tag: 7,
+                    timeout: None,
+                }
+            }
+            fn into_output(self) {}
+        }
+        EventEngine::new().run_tasks_with_stats(1, FaultPlan::new(), |_, _| WaitForever);
+    }
+}

@@ -1,0 +1,502 @@
+//! Ranks as resumable state machines.
+//!
+//! The thread-per-rank world (`world.rs`) caps realistic runs at a few
+//! hundred ranks: every simulated rank costs an OS thread, a stack, and
+//! real wall-clock time for every timeout it waits out. To reach the
+//! cluster-scale rank counts the paper measures (1 000–16 000), ranks
+//! must instead be *resumable state machines*: a [`RankTask`] owns its
+//! protocol state, is advanced one communication event at a time, and
+//! between events occupies nothing but its own struct.
+//!
+//! The same task runs on two engines behind the [`Executor`] trait:
+//!
+//! * [`ThreadEngine`](crate::world::ThreadEngine) — one OS thread per
+//!   rank, blocking channel receives, wall-clock timeouts. The original
+//!   execution model; still the reference for equivalence tests.
+//! * [`EventEngine`](crate::sched::EventEngine) — a deterministic
+//!   virtual-clock event loop (see `sched.rs`): timeouts and delays are
+//!   heap events costing zero wall-clock time, and 16k ranks fit in one
+//!   process comfortably.
+//!
+//! The centerpiece task is [`ReduceTask`]: the paper's binomial-tree
+//! reduction (§IV-C) with the fault-tolerant coverage semantics of
+//! [`reduce_tree_resilient`](crate::collectives::reduce_tree_resilient),
+//! generalized over a [`Topology`] — flat, or node-local two-level
+//! pre-reduction (intra-node merge, then a cross-node binomial tree, as
+//! in the Caliper/Benchpark MPI-communication-patterns study). Both the
+//! blocking function and the event engine drive *this* state machine,
+//! so there is exactly one implementation of the collective to trust.
+
+use std::any::Any;
+use std::time::Duration;
+
+use crate::collectives::{ReduceCoverage, ResilienceOptions, TAG_RESIL};
+use crate::comm::{CommError, Tag};
+use crate::fault::FaultPlan;
+
+/// A type-erased message payload, exactly what the thread engine's
+/// channels carry.
+pub type Payload = Box<dyn Any + Send>;
+
+/// One delivered message: source rank, tag, and the payload.
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Type-erased payload; the task downcasts to its protocol type.
+    pub payload: Payload,
+}
+
+impl std::fmt::Debug for Msg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Msg(src {}, tag {:#x})", self.src, self.tag)
+    }
+}
+
+/// What woke the task up: the reason [`RankTask::step`] is being called.
+#[derive(Debug)]
+pub enum Wake {
+    /// First call; no receive is pending yet.
+    Start,
+    /// The pending receive matched this message.
+    Message(Msg),
+    /// The pending receive's timeout elapsed with no matching message.
+    Timeout,
+}
+
+/// What the task wants next: returned from [`RankTask::step`].
+#[derive(Debug)]
+pub enum Action {
+    /// Wait for a message matching `(src, tag)`; `src == None` matches
+    /// any source. With a `timeout`, the engine wakes the task with
+    /// [`Wake::Timeout`] if nothing matches in time — on the event
+    /// engine that deadline is a virtual-clock event and costs no
+    /// wall-clock time at all.
+    Recv {
+        /// Required source rank, or `None` for any.
+        src: Option<usize>,
+        /// Required tag.
+        tag: Tag,
+        /// Bound on the wait; `None` waits forever (the event engine
+        /// reports a virtual deadlock if nothing can ever arrive).
+        timeout: Option<Duration>,
+    },
+    /// The task is finished; the engine collects
+    /// [`RankTask::into_output`].
+    Done,
+}
+
+/// Engine services available to a task during a step.
+///
+/// Sends are non-blocking (buffered) on both engines and count as
+/// communication ops for [`FaultPlan`] scripting, exactly like
+/// [`Comm::send`](crate::Comm::send).
+pub trait TaskCtx {
+    /// This rank's id.
+    fn rank(&self) -> usize;
+    /// World size.
+    fn size(&self) -> usize;
+    /// Send `payload` to `dest`. Fails with
+    /// [`CommError::Disconnected`] if `dest` is already dead.
+    fn send(&mut self, dest: usize, tag: Tag, payload: Payload) -> Result<(), CommError>;
+}
+
+/// A rank as a resumable state machine.
+///
+/// The engine calls [`step`](RankTask::step) with the [`Wake`] that
+/// resumed the task; the task performs any number of non-blocking sends
+/// through the [`TaskCtx`] and returns the next [`Action`]. A task
+/// must be driven by exactly one engine at a time; it never blocks.
+pub trait RankTask: 'static {
+    /// The per-rank result collected by [`Executor::run_tasks`].
+    type Out;
+
+    /// Advance the state machine by one event.
+    fn step(&mut self, ctx: &mut dyn TaskCtx, wake: Wake) -> Action;
+
+    /// Consume the task after it returned [`Action::Done`].
+    fn into_output(self) -> Self::Out;
+}
+
+/// An execution engine: runs one [`RankTask`] per rank under a
+/// [`FaultPlan`] and collects the outputs in rank order (`None` for
+/// ranks the plan killed).
+///
+/// Both engines run the *same* task code; for any plan whose delays are
+/// decisively smaller than the tasks' timeout budgets, their outputs
+/// are byte-identical (pinned by the engine-equivalence proptests).
+pub trait Executor {
+    /// Engine name, for logs and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Run `make(rank, size)` tasks on all `size` ranks under `plan`.
+    fn run_tasks<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> Vec<Option<T::Out>>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static;
+}
+
+/// Reduction tree shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// One binomial tree over all ranks (the paper's §IV-C scheme).
+    Flat,
+    /// Node-local two-level pre-reduction: ranks are grouped into nodes
+    /// of `ranks_per_node` consecutive ranks; each node reduces to its
+    /// first rank (the node leader) over an intra-node binomial tree,
+    /// then the leaders reduce over a cross-node binomial tree. Models
+    /// the intra-node shared-memory merge + inter-node network phase of
+    /// real clusters; `ranks_per_node: 1` degenerates to
+    /// [`Flat`](Topology::Flat).
+    TwoLevel {
+        /// Ranks per node; clamped to at least 1.
+        ranks_per_node: usize,
+    },
+}
+
+impl Topology {
+    /// Parse `"flat"` or a node count into a topology for `size` ranks:
+    /// `nodes` evenly divides ranks into that many nodes (rounding the
+    /// per-node count up).
+    pub fn two_level_for(size: usize, nodes: usize) -> Topology {
+        let nodes = nodes.max(1);
+        Topology::TwoLevel {
+            ranks_per_node: size.div_ceil(nodes).max(1),
+        }
+    }
+}
+
+/// One round of a rank's reduction schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Round {
+    /// Receive a partial result from `from` (tag `TAG_RESIL + level`).
+    Recv { from: usize, level: u32 },
+    /// Send the accumulated partial to `to` and retire.
+    Send { to: usize, level: u32 },
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Binomial-tree rounds for participant `idx` of `n`, with tree levels
+/// starting at `level_base` and participant indices mapped to global
+/// ranks through `map`.
+fn binomial_rounds(
+    idx: usize,
+    n: usize,
+    level_base: u32,
+    map: impl Fn(usize) -> usize,
+) -> Vec<Round> {
+    let mut rounds = Vec::new();
+    let mut step = 1usize;
+    let mut level = level_base;
+    while step < n {
+        if idx.is_multiple_of(2 * step) {
+            if idx + step < n {
+                rounds.push(Round::Recv {
+                    from: map(idx + step),
+                    level,
+                });
+            }
+        } else {
+            rounds.push(Round::Send {
+                to: map(idx - step),
+                level,
+            });
+            break;
+        }
+        step *= 2;
+        level += 1;
+    }
+    rounds
+}
+
+/// The complete, deterministic reduction schedule of `rank` in a world
+/// of `size` under `topology`. Every non-root rank's schedule ends in
+/// exactly one `Send`; rank 0's never sends (it is the root).
+///
+/// Level numbers are globally consistent — a `Recv { from, level }`
+/// pairs with `from`'s `Send { level }` on tag `TAG_RESIL + level` —
+/// and strictly increase along every rank's schedule, so the per-level
+/// timeout doubling of [`ResilienceOptions`] stays sound: the budget at
+/// a level strictly exceeds the sum of all lower-level budgets.
+pub(crate) fn reduce_schedule(rank: usize, size: usize, topology: Topology) -> Vec<Round> {
+    match topology {
+        Topology::Flat => binomial_rounds(rank, size, 0, |r| r),
+        Topology::TwoLevel { ranks_per_node } => {
+            let rpn = ranks_per_node.max(1);
+            let node = rank / rpn;
+            let local = rank % rpn;
+            let base = node * rpn;
+            let node_size = rpn.min(size - base);
+            // All nodes share one level numbering sized for the largest
+            // node, so intra- and cross-node tags can never collide.
+            let intra_levels = ceil_log2(rpn);
+            let mut rounds = binomial_rounds(local, node_size, 0, |i| base + i);
+            if local == 0 {
+                let nnodes = size.div_ceil(rpn);
+                rounds.extend(binomial_rounds(node, nnodes, intra_levels, |n| n * rpn));
+            }
+            rounds
+        }
+    }
+}
+
+/// The fault-tolerant tree reduction as a [`RankTask`] — the single
+/// implementation behind
+/// [`reduce_tree_resilient`](crate::collectives::reduce_tree_resilient)
+/// (blocking, thread engine) and every event-engine reduction.
+///
+/// Semantics are those documented on `reduce_tree_resilient`: bounded,
+/// retried receives with per-level budget doubling; silent partners are
+/// written off with their whole subtree; the payload carries the set of
+/// ranks folded in, so the root's [`ReduceCoverage`] is exact. `init`
+/// produces the rank's local value lazily on the first step, so on the
+/// event engine the (possibly expensive) local phase runs inside the
+/// scheduler's worker pool.
+pub struct ReduceTask<T, F, I> {
+    rank: usize,
+    size: usize,
+    schedule: Vec<Round>,
+    next_round: usize,
+    init: Option<I>,
+    merge: F,
+    opts: ResilienceOptions,
+    attempt: u32,
+    acc: Option<T>,
+    included: Vec<usize>,
+    out: Option<Option<(T, ReduceCoverage)>>,
+}
+
+impl<T, F, I> ReduceTask<T, F, I>
+where
+    T: Send + 'static,
+    F: FnMut(T, T) -> T + Send + 'static,
+    I: FnOnce() -> T + Send + 'static,
+{
+    /// Build the task for `rank` of `size` under `topology`.
+    pub fn new(
+        rank: usize,
+        size: usize,
+        topology: Topology,
+        init: I,
+        merge: F,
+        opts: ResilienceOptions,
+    ) -> ReduceTask<T, F, I> {
+        assert!(size > 0, "world size must be positive");
+        assert!(rank < size, "rank {rank} out of range for size {size}");
+        ReduceTask {
+            rank,
+            size,
+            schedule: reduce_schedule(rank, size, topology),
+            next_round: 0,
+            init: Some(init),
+            merge,
+            opts,
+            attempt: 0,
+            acc: None,
+            included: Vec::new(),
+            out: None,
+        }
+    }
+
+    /// The bounded wait for the current attempt at `level` (linear
+    /// backoff, scaled by the per-level doubling).
+    fn wait_for(&self, level: u32) -> Duration {
+        let level_opts = self.opts.at_level(level);
+        level_opts.timeout + level_opts.backoff * self.attempt
+    }
+
+    /// Move to the next blocking receive, retirement, or completion.
+    fn advance(&mut self, ctx: &mut dyn TaskCtx) -> Action {
+        if let Some(&round) = self.schedule.get(self.next_round) {
+            match round {
+                Round::Recv { from, level } => {
+                    self.attempt = 0;
+                    return Action::Recv {
+                        src: Some(from),
+                        tag: TAG_RESIL + level,
+                        timeout: Some(self.wait_for(level)),
+                    };
+                }
+                Round::Send { to, level } => {
+                    let acc = self.acc.take().expect("sender holds a value");
+                    let included = std::mem::take(&mut self.included);
+                    // A failed send means the parent is already dead:
+                    // this subtree is stranded and shows up in the
+                    // root's lost set — exactly the wanted semantics,
+                    // so the error is swallowed and the rank retires.
+                    let _ = ctx.send(to, TAG_RESIL + level, Box::new((acc, included)));
+                    self.next_round = self.schedule.len();
+                    self.out = Some(None);
+                    return Action::Done;
+                }
+            }
+        }
+        // Schedule exhausted without a Send: this rank is the root.
+        let acc = self.acc.take().expect("root holds the merged value");
+        let mut included = std::mem::take(&mut self.included);
+        included.sort_unstable();
+        included.dedup();
+        let lost = (0..self.size).filter(|r| !included.contains(r)).collect();
+        self.out = Some(Some((acc, ReduceCoverage { included, lost })));
+        Action::Done
+    }
+}
+
+impl<T, F, I> RankTask for ReduceTask<T, F, I>
+where
+    T: Send + 'static,
+    F: FnMut(T, T) -> T + Send + 'static,
+    I: FnOnce() -> T + Send + 'static,
+{
+    type Out = Option<(T, ReduceCoverage)>;
+
+    fn step(&mut self, ctx: &mut dyn TaskCtx, wake: Wake) -> Action {
+        match wake {
+            Wake::Start => {
+                let init = self.init.take().expect("start wake arrives once");
+                self.acc = Some(init());
+                self.included.push(self.rank);
+                self.advance(ctx)
+            }
+            Wake::Message(msg) => {
+                let (theirs, their_ranks) = *msg
+                    .payload
+                    .downcast::<(T, Vec<usize>)>()
+                    .unwrap_or_else(|_| {
+                        panic!("type mismatch on reduce payload from rank {}", msg.src)
+                    });
+                let mine = self.acc.take().expect("receiver holds a value");
+                self.acc = Some((self.merge)(mine, theirs));
+                self.included.extend(their_ranks);
+                self.next_round += 1;
+                self.advance(ctx)
+            }
+            Wake::Timeout => {
+                let Some(&Round::Recv { from, level }) = self.schedule.get(self.next_round) else {
+                    panic!("timeout wake outside a receive round");
+                };
+                self.attempt += 1;
+                if self.attempt <= self.opts.retries {
+                    // Retries exist for stragglers, not corpses: a
+                    // delayed partner's message arrives during a retry.
+                    Action::Recv {
+                        src: Some(from),
+                        tag: TAG_RESIL + level,
+                        timeout: Some(self.wait_for(level)),
+                    }
+                } else {
+                    // Partner presumed dead; continue without its
+                    // subtree — its ranks never reach any included
+                    // list, so the root charges the loss exactly.
+                    self.next_round += 1;
+                    self.advance(ctx)
+                }
+            }
+        }
+    }
+
+    fn into_output(self) -> Self::Out {
+        self.out.expect("task is done")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv_from(rounds: &[Round]) -> Vec<usize> {
+        rounds
+            .iter()
+            .filter_map(|r| match r {
+                Round::Recv { from, .. } => Some(*from),
+                Round::Send { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_schedule_is_the_binomial_tree() {
+        assert_eq!(recv_from(&reduce_schedule(0, 8, Topology::Flat)), vec![1, 2, 4]);
+        assert_eq!(
+            reduce_schedule(3, 8, Topology::Flat),
+            vec![Round::Send { to: 2, level: 0 }]
+        );
+        assert_eq!(
+            reduce_schedule(2, 8, Topology::Flat),
+            vec![
+                Round::Recv { from: 3, level: 0 },
+                Round::Send { to: 0, level: 1 }
+            ]
+        );
+        assert!(reduce_schedule(0, 1, Topology::Flat).is_empty());
+    }
+
+    #[test]
+    fn two_level_with_rpn_one_degenerates_to_flat() {
+        for size in [1, 2, 3, 8, 13] {
+            for rank in 0..size {
+                assert_eq!(
+                    reduce_schedule(rank, size, Topology::TwoLevel { ranks_per_node: 1 }),
+                    reduce_schedule(rank, size, Topology::Flat),
+                    "rank {rank} of {size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_schedules_pair_up() {
+        // Every Send must have exactly one matching Recv on the same
+        // (level, peer) pair, for several sizes and node widths.
+        for (size, rpn) in [(8, 4), (13, 4), (16, 3), (9, 2), (5, 8), (64, 8)] {
+            let topo = Topology::TwoLevel { ranks_per_node: rpn };
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for rank in 0..size {
+                for round in reduce_schedule(rank, size, topo) {
+                    match round {
+                        Round::Send { to, level } => sends.push((rank, to, level)),
+                        Round::Recv { from, level } => recvs.push((from, rank, level)),
+                    }
+                }
+            }
+            sends.sort_unstable();
+            recvs.sort_unstable();
+            assert_eq!(sends, recvs, "size {size}, rpn {rpn}");
+            // Exactly one sender per non-root rank.
+            let mut senders: Vec<usize> = sends.iter().map(|&(s, _, _)| s).collect();
+            senders.sort_unstable();
+            senders.dedup();
+            assert_eq!(senders, (1..size).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn two_level_levels_increase_along_every_schedule() {
+        for (size, rpn) in [(16, 4), (13, 4), (64, 8)] {
+            let topo = Topology::TwoLevel { ranks_per_node: rpn };
+            for rank in 0..size {
+                let rounds = reduce_schedule(rank, size, topo);
+                let levels: Vec<u32> = rounds
+                    .iter()
+                    .map(|r| match r {
+                        Round::Recv { level, .. } | Round::Send { level, .. } => *level,
+                    })
+                    .collect();
+                assert!(
+                    levels.windows(2).all(|w| w[0] < w[1]),
+                    "rank {rank} of {size} rpn {rpn}: {levels:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,12 +1,21 @@
 //! The world launcher: runs N ranks as OS threads.
+//!
+//! This is the original execution model, kept as the reference engine:
+//! every rank is an OS thread, receives block on channels, and timeouts
+//! cost real wall-clock time. [`ThreadEngine`] exposes it behind the
+//! [`Executor`] trait so the same [`RankTask`] state machines run here
+//! and on the virtual-clock [`EventEngine`](crate::sched::EventEngine);
+//! [`drive_task`] is the blocking driver that adapts a task to a
+//! [`Comm`].
 
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Once};
 
 use crossbeam::channel::unbounded;
 
-use crate::comm::{Comm, Packet};
+use crate::comm::{Comm, CommError, Packet, Tag};
 use crate::fault::{FaultPlan, RankKilled};
+use crate::task::{Action, Executor, Payload, RankTask, TaskCtx, Wake};
 
 /// Run `body` on `size` simulated ranks, each on its own thread, and
 /// collect the per-rank return values in rank order.
@@ -122,6 +131,78 @@ where
         .into_iter()
         .map(|h| h.join().unwrap_or_else(|e| Err(e)))
         .collect()
+}
+
+/// Drives a [`RankTask`] to completion against a blocking [`Comm`] —
+/// the thread engine's half of the shared-collectives contract. Every
+/// [`Action::Recv`] becomes one (bounded or unbounded) blocking receive
+/// and counts one communication op, every [`TaskCtx::send`] one send
+/// op, so [`FaultPlan`] schedules mean the same thing here as on the
+/// event engine.
+pub fn drive_task<T: RankTask>(comm: &mut Comm, mut task: T) -> T::Out {
+    let mut wake = Wake::Start;
+    loop {
+        let action = {
+            let mut ctx = CommTaskCtx { comm };
+            task.step(&mut ctx, wake)
+        };
+        match action {
+            Action::Done => return task.into_output(),
+            Action::Recv { src, tag, timeout } => {
+                wake = match comm.recv_msg(src, tag, timeout) {
+                    Ok(msg) => Wake::Message(msg),
+                    Err(e) if e.is_timeout() => Wake::Timeout,
+                    // The inbox cannot disconnect while this rank lives
+                    // (it holds every sender, its own included); a
+                    // shutdown race is indistinguishable from silence.
+                    Err(_) => Wake::Timeout,
+                };
+            }
+        }
+    }
+}
+
+struct CommTaskCtx<'a> {
+    comm: &'a mut Comm,
+}
+
+impl TaskCtx for CommTaskCtx<'_> {
+    fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    fn send(&mut self, dest: usize, tag: Tag, payload: Payload) -> Result<(), CommError> {
+        self.comm.send_payload(dest, tag, payload)
+    }
+}
+
+/// The thread-per-rank engine behind the [`Executor`] trait: one OS
+/// thread per rank, blocking receives, wall-clock timeouts. Accurate to
+/// real concurrency (including races) but capped at a few hundred
+/// ranks; use [`EventEngine`](crate::sched::EventEngine) beyond that.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadEngine;
+
+impl Executor for ThreadEngine {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn run_tasks<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> Vec<Option<T::Out>>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        run_with_faults(size, plan, move |mut comm| {
+            let task = make(comm.rank(), comm.size());
+            drive_task(&mut comm, task)
+        })
+    }
 }
 
 fn resume_rank_panic(rank: usize, e: Box<dyn std::any::Any + Send>) -> ! {

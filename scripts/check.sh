@@ -78,6 +78,34 @@ grep -q "ok" "$smoke/lenient.out"
 cargo run -q --release -p caliper-bench --bin fig4 -- --quick --max-np 8 --kill 3 \
     > /dev/null
 
+# Event-engine scale smoke: a 2048-rank resilient tree reduction with a
+# seeded kill plan must finish inside a strict wall-clock budget (a
+# scheduler regression toward thread-per-rank cost blows it) and be
+# byte-identical across runs and across worker-pool sizes.
+fig4=./target/release/fig4
+scale_start=$(date +%s)
+"$fig4" --ranks 2048 --engine event --kills 5 --kill-seed 7 \
+    > "$smoke/scale-a.out" 2>/dev/null
+"$fig4" --ranks 2048 --engine event --kills 5 --kill-seed 7 \
+    > "$smoke/scale-b.out" 2>/dev/null
+"$fig4" --ranks 2048 --engine event --kills 5 --kill-seed 7 --workers 4 \
+    > "$smoke/scale-c.out" 2>/dev/null
+scale_elapsed=$(( $(date +%s) - scale_start ))
+cmp -s "$smoke/scale-a.out" "$smoke/scale-b.out" \
+    && cmp -s "$smoke/scale-a.out" "$smoke/scale-c.out" || {
+    echo "check.sh: 2048-rank event-engine output differs across runs/workers" >&2
+    exit 1
+}
+grep -q "^sched_events," "$smoke/scale-a.out" || {
+    echo "check.sh: event-engine smoke reported no scheduler stats" >&2
+    exit 1
+}
+if [ "$scale_elapsed" -gt 30 ]; then
+    echo "check.sh: event-engine scale smoke took ${scale_elapsed}s (budget 30s)" >&2
+    exit 1
+fi
+echo "check.sh: event-engine smoke: 2048 ranks, seeded kills, deterministic in ${scale_elapsed}s"
+
 # Crash-recovery smoke: run the journaling CleverLeaf demo, SIGKILL it
 # mid-run, and verify (a) the torn journal is a byte prefix of a clean
 # run's (pacing never changes the data), (b) cali-recover salvages it,
