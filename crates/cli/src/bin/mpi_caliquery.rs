@@ -12,7 +12,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cali_cli::{parallel_query, parallel_query_on, parallel_query_resilient, parse_args};
+use cali_cli::{
+    parallel_query, parallel_query_on, parallel_query_on_traced, parallel_query_resilient,
+    parse_args, TracedQueryRun,
+};
 use mpisim::{EventEngine, FaultPlan, ResilienceOptions, ThreadEngine, Topology};
 
 const USAGE: &str = "usage: mpi-caliquery --np N [-q QUERY] [--timings] INPUT.cali...
@@ -44,6 +47,13 @@ Options:
                       20 ms; the run switches to the fault-tolerant
                       reduction and reports which ranks' data the
                       result covers (also read from CALI_FAULTS)
+  --analyze           record the happens-before communication trace and
+                      run the race/deadlock analysis on it after the
+                      query; the certificate is printed to stderr and
+                      analysis errors fail the run (see cali-race for
+                      the standalone analyzer)
+  --trace FILE        dump the happens-before trace as .cali records to
+                      FILE (aggregatable with cali-query)
   -h, --help          show this help
 
 Exit codes: 0 success, 1 error, 2 success but the result is partial
@@ -94,10 +104,53 @@ fn finish_engine_run(
     }
 }
 
+/// Handle a traced run: dump and/or analyze the happens-before trace,
+/// then report the query outcome as usual. Analysis errors (message
+/// races, deadlock cycles) fail the run even when the query itself
+/// produced a result.
+fn finish_traced_run(
+    run: TracedQueryRun,
+    sched_timings: bool,
+    analyze: bool,
+    trace_path: Option<&str>,
+) -> ExitCode {
+    run.trace.record_metrics();
+    if let Some(path) = trace_path {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("mpi-caliquery: --trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = run.trace.write_cali(std::io::BufWriter::new(file)) {
+            eprintln!("mpi-caliquery: --trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "mpi-caliquery: wrote {} trace events ({} ranks) to {path}",
+            run.trace.len(),
+            run.trace.size()
+        );
+    }
+    let mut analysis_errors = false;
+    if analyze {
+        let analysis = mpisim::analyze(&run.trace);
+        eprint!("{}", analysis.render());
+        analysis_errors = analysis.exit_code(false) == 2;
+    }
+    let code = finish_engine_run(run.outcome, sched_timings);
+    if analysis_errors {
+        eprintln!("mpi-caliquery: --analyze found communication errors");
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(
         std::env::args().skip(1),
-        &["q", "query", "np", "ranks", "faults", "engine", "nodes", "workers"],
+        &["q", "query", "np", "ranks", "faults", "engine", "nodes", "workers", "trace"],
     ) {
         Ok(args) => args,
         Err(e) => {
@@ -168,6 +221,37 @@ fn main() -> ExitCode {
     let mut per_rank: Vec<Vec<PathBuf>> = vec![Vec::new(); np];
     for (i, path) in args.positional.iter().enumerate() {
         per_rank[i % np].push(PathBuf::from(path));
+    }
+
+    // Happens-before tracing: --analyze and --trace both need the
+    // instrumented run, on either engine.
+    let analyze = args.has(&["analyze"]);
+    let trace_path = args.get(&["trace"]);
+    if analyze || trace_path.is_some() {
+        let topology = topology.unwrap_or(Topology::Flat);
+        let opts = ResilienceOptions::default();
+        let run = match args.get(&["engine"]).unwrap_or("threads") {
+            "event" => {
+                let engine = EventEngine::with_workers(workers);
+                parallel_query_on_traced(&engine, topology, query, per_rank, plan, opts)
+            }
+            "threads" => {
+                parallel_query_on_traced(&ThreadEngine, topology, query, per_rank, plan, opts)
+            }
+            other => {
+                eprintln!("mpi-caliquery: unknown --engine '{other}' (use 'event' or 'threads')");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run {
+            Ok(traced) => {
+                finish_traced_run(traced, args.has(&["timings"]), analyze, trace_path)
+            }
+            Err(e) => {
+                eprintln!("mpi-caliquery: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     // The event engine — and any two-level topology — routes through

@@ -20,8 +20,8 @@ use std::time::Instant;
 
 use caliper_query::{parse_query, ParseError, Pipeline, QueryResult};
 use mpisim::{
-    gather, reduce_tree_resilient, Comm, Executor, FaultPlan, ReduceCoverage, ReduceTask,
-    ResilienceOptions, Topology,
+    gather, reduce_tree_resilient, Comm, Executor, FaultPlan, HbTrace, ReduceCoverage, ReduceTask,
+    ResilienceOptions, SchedError, Topology,
 };
 
 use crate::read_files;
@@ -62,6 +62,9 @@ pub enum ParallelError {
     NotAnAggregation,
     /// A rank failed to read its input files.
     Io(String),
+    /// The scheduler detected that the run can never finish — a
+    /// virtual deadlock, with the blocked ranks and wait cycles named.
+    Deadlock(SchedError),
 }
 
 impl std::fmt::Display for ParallelError {
@@ -72,6 +75,7 @@ impl std::fmt::Display for ParallelError {
                 f.write_str("parallel queries must aggregate (use AGGREGATE and/or GROUP BY)")
             }
             ParallelError::Io(m) => write!(f, "input error: {m}"),
+            ParallelError::Deadlock(e) => write!(f, "{e}"),
         }
     }
 }
@@ -278,38 +282,110 @@ pub fn parallel_query_on<E: Executor>(
     plan: FaultPlan,
     opts: ResilienceOptions,
 ) -> Result<(QueryResult, ResilientReport), ParallelError> {
+    let (spec, size, files) = prepare_query(query, files_per_rank)?;
+    let outputs = engine
+        .try_run_tasks(size, plan, query_task_factory(spec, files, topology, opts))
+        .map_err(ParallelError::Deadlock)?;
+    finish_query_outputs(outputs)
+}
+
+/// The outcome of a traced engine-generic query run (see
+/// [`parallel_query_on_traced`]): the query outcome — which may itself
+/// be a [`ParallelError::Deadlock`] — and the recorded happens-before
+/// trace, present either way so the analyzer can explain failures.
+#[derive(Debug)]
+pub struct TracedQueryRun {
+    /// The query result and coverage report, or what went wrong.
+    pub outcome: Result<(QueryResult, ResilientReport), ParallelError>,
+    /// The communication trace of the run.
+    pub trace: HbTrace,
+}
+
+/// Like [`parallel_query_on`], but with the engine's happens-before
+/// trace hook armed: returns the recorded [`HbTrace`] alongside the
+/// query outcome, for `mpi-caliquery --analyze` / `--trace` and
+/// `cali-race`. The outer `Err` covers pre-run failures only (parse
+/// errors, non-aggregations); once the world runs, failures land in
+/// [`TracedQueryRun::outcome`] with the trace preserved.
+pub fn parallel_query_on_traced<E: Executor>(
+    engine: &E,
+    topology: Topology,
+    query: &str,
+    files_per_rank: Vec<Vec<PathBuf>>,
+    plan: FaultPlan,
+    opts: ResilienceOptions,
+) -> Result<TracedQueryRun, ParallelError> {
+    let (spec, size, files) = prepare_query(query, files_per_rank)?;
+    let run = engine.run_tasks_traced(size, plan, query_task_factory(spec, files, topology, opts));
+    let outcome = match run.outputs {
+        Ok(outputs) => finish_query_outputs(outputs),
+        Err(e) => Err(ParallelError::Deadlock(e)),
+    };
+    Ok(TracedQueryRun {
+        outcome,
+        trace: run.trace,
+    })
+}
+
+/// Per-rank local aggregation state: the pipeline, or the read error
+/// that poisoned it.
+type RankPipeline = Result<Pipeline, String>;
+
+/// A validated query run setup: the parsed spec, the world size, and
+/// the shared per-rank file assignment.
+type PreparedQuery = (Arc<caliper_query::QuerySpec>, usize, Arc<Vec<Vec<PathBuf>>>);
+
+/// Parse + validate the query and fix the world size.
+fn prepare_query(
+    query: &str,
+    files_per_rank: Vec<Vec<PathBuf>>,
+) -> Result<PreparedQuery, ParallelError> {
     let spec = parse_query(query).map_err(ParallelError::Parse)?;
     if !spec.is_aggregation() {
         return Err(ParallelError::NotAnAggregation);
     }
     let size = files_per_rank.len().max(1);
-    let spec = Arc::new(spec);
-    let files = Arc::new(files_per_rank);
+    Ok((Arc::new(spec), size, Arc::new(files_per_rank)))
+}
 
-    let mut outputs = engine.run_tasks(size, plan, move |rank, size| {
+/// The boxed closure forms of the query reduction, so the task type is
+/// nameable from both the plain and the traced entry points.
+type MergeFn = Box<dyn FnMut(RankPipeline, RankPipeline) -> RankPipeline + Send>;
+type InitFn = Box<dyn FnOnce() -> RankPipeline + Send>;
+type QueryTask = ReduceTask<RankPipeline, MergeFn, InitFn>;
+
+/// The shared task factory of the engine-generic query paths: each
+/// rank lazily reads + aggregates its files, then reduces up the tree.
+fn query_task_factory(
+    spec: Arc<caliper_query::QuerySpec>,
+    files: Arc<Vec<Vec<PathBuf>>>,
+    topology: Topology,
+    opts: ResilienceOptions,
+) -> impl Fn(usize, usize) -> QueryTask + Send + Sync + 'static {
+    move |rank, size| {
         let spec = Arc::clone(&spec);
         let files = Arc::clone(&files);
-        ReduceTask::new(
-            rank,
-            size,
-            topology,
-            move || -> Result<Pipeline, String> {
-                let ds = read_files(&files[rank]).map_err(|e| e.to_string())?;
-                let mut pipeline = Pipeline::new((*spec).clone(), Arc::clone(&ds.store));
-                pipeline.process_dataset(&ds);
-                Ok(pipeline)
-            },
-            |a: Result<Pipeline, String>, b| match (a, b) {
-                (Ok(mut acc), Ok(incoming)) => {
-                    acc.merge(incoming);
-                    Ok(acc)
-                }
-                (Err(e), _) | (_, Err(e)) => Err(e),
-            },
-            opts,
-        )
-    });
+        let init: InitFn = Box::new(move || -> RankPipeline {
+            let ds = read_files(&files[rank]).map_err(|e| e.to_string())?;
+            let mut pipeline = Pipeline::new((*spec).clone(), Arc::clone(&ds.store));
+            pipeline.process_dataset(&ds);
+            Ok(pipeline)
+        });
+        let merge: MergeFn = Box::new(|a: RankPipeline, b| match (a, b) {
+            (Ok(mut acc), Ok(incoming)) => {
+                acc.merge(incoming);
+                Ok(acc)
+            }
+            (Err(e), _) | (_, Err(e)) => Err(e),
+        });
+        ReduceTask::new(rank, size, topology, init, merge, opts)
+    }
+}
 
+/// Extract rank 0's merged pipeline + coverage from the task outputs.
+fn finish_query_outputs(
+    mut outputs: Vec<Option<Option<(RankPipeline, ReduceCoverage)>>>,
+) -> Result<(QueryResult, ResilientReport), ParallelError> {
     let root = outputs
         .first_mut()
         .and_then(Option::take)

@@ -32,6 +32,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::fault::{FaultPlan, RankKilled};
 use crate::task::{Msg, Payload};
+use crate::trace::{SharedTrace, TraceKind};
 
 /// Message tag (as in MPI).
 pub type Tag = u32;
@@ -115,6 +116,9 @@ pub struct Comm {
     pending: Vec<Packet>,
     /// Faults scripted for this world, if any.
     faults: Option<Arc<FaultPlan>>,
+    /// Happens-before trace collector, when the run is traced. `None`
+    /// (the common case) costs one branch per communication op.
+    trace: Option<Arc<SharedTrace>>,
     /// Number of communication operations this rank has issued; the
     /// fault plan's notion of time.
     ops: Cell<u64>,
@@ -135,7 +139,20 @@ impl Comm {
             inbox,
             pending: Vec::new(),
             faults,
+            trace: None,
             ops: Cell::new(0),
+        }
+    }
+
+    /// Arm the happens-before trace hook (world launcher only).
+    pub(crate) fn set_trace(&mut self, trace: Arc<SharedTrace>) {
+        self.trace = Some(trace);
+    }
+
+    /// Record `kind` into the trace, when armed.
+    fn rec(&self, kind: TraceKind) {
+        if let Some(trace) = &self.trace {
+            trace.record(self.rank, kind);
         }
     }
 
@@ -166,6 +183,8 @@ impl Comm {
             std::thread::sleep(d);
         }
         if plan.kill_at(self.rank, op) {
+            // The rank's clock freezes here: this is its last event.
+            self.rec(TraceKind::Killed);
             std::panic::panic_any(RankKilled);
         }
     }
@@ -190,6 +209,11 @@ impl Comm {
                 payload,
             })
             .map_err(|_| CommError::disconnected(format!("send to rank {dest}")));
+        self.rec(TraceKind::Send {
+            dest,
+            tag,
+            ok: sent.is_ok(),
+        });
         if sent.is_ok() {
             caliper_data::metrics::global()
                 .counter_volatile("mpisim.comm.messages")
@@ -234,8 +258,18 @@ impl Comm {
     ) -> Result<Packet, CommError> {
         self.fault_point();
         if let Some(p) = self.take_pending(src, tag) {
+            self.rec(TraceKind::Match {
+                src: p.src,
+                tag: p.tag,
+                wildcard: src.is_none(),
+            });
             return Ok(p);
         }
+        self.rec(TraceKind::WaitPost {
+            src,
+            tag,
+            timeout_ns: timeout.map(|t| t.as_nanos().min(u128::from(u64::MAX)) as u64),
+        });
         let deadline = timeout.map(|t| (Instant::now() + t, t));
         loop {
             let packet = match deadline {
@@ -251,6 +285,7 @@ impl Comm {
                             caliper_data::metrics::global()
                                 .counter_volatile("mpisim.comm.timeouts")
                                 .inc();
+                            self.rec(TraceKind::Timeout { src, tag });
                             return Err(CommError::timeout(Self::recv_context(src, tag), total));
                         }
                         Err(RecvTimeoutError::Disconnected) => {
@@ -261,6 +296,11 @@ impl Comm {
             };
             let matches = packet.tag == tag && src.map(|s| s == packet.src).unwrap_or(true);
             if matches {
+                self.rec(TraceKind::Match {
+                    src: packet.src,
+                    tag: packet.tag,
+                    wildcard: src.is_none(),
+                });
                 return Ok(packet);
             }
             self.pending.push(packet);

@@ -43,8 +43,10 @@
 pub mod collectives;
 pub mod comm;
 pub mod fault;
+pub mod hb;
 pub mod sched;
 pub mod task;
+pub mod trace;
 pub mod world;
 
 pub use collectives::{
@@ -53,6 +55,8 @@ pub use collectives::{
 };
 pub use comm::{Comm, CommError, Tag};
 pub use fault::FaultPlan;
-pub use sched::{EventEngine, SchedConfig, SchedStats};
+pub use hb::{analyze, Analysis, Diagnostic, Severity as HbSeverity, VClock};
+pub use sched::{EventEngine, SchedConfig, SchedError, SchedStats};
 pub use task::{Action, Executor, Msg, Payload, RankTask, ReduceTask, TaskCtx, Topology, Wake};
+pub use trace::{HbTrace, TraceEvent, TraceKind, TracedRun};
 pub use world::{drive_task, run, run_with_faults, ThreadEngine};

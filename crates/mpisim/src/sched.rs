@@ -32,9 +32,22 @@
 //! # Virtual deadlock
 //!
 //! If the event heap drains while live tasks still wait without a
-//! timeout, no message can ever arrive: the scheduler panics with a
-//! "virtual deadlock" diagnostic instead of hanging — the event-loop
-//! analogue of the thread engine's watchdog-guarded deadlock tests.
+//! timeout, no message can ever arrive: the scheduler reports a
+//! structured [`SchedError::Deadlock`] naming the blocked ranks and any
+//! wait cycles among them (via
+//! [`EventEngine::try_run_tasks_with_stats`]; the panicking
+//! [`run_tasks`](Executor::run_tasks) entry point panics with the
+//! error's message) — the event-loop analogue of the thread engine's
+//! watchdog-guarded deadlock tests.
+//!
+//! # Tracing
+//!
+//! [`EventEngine::run_tasks_traced`] records a structured
+//! happens-before trace ([`HbTrace`]) of the run for the offline
+//! analyzer in [`crate::hb`]. The hook is a per-batch boolean: when
+//! tracing is off (every other entry point), the only cost is testing
+//! that flag, and the recorded trace — timestamps included, since the
+//! clock is virtual — is byte-identical for any worker-pool size.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -43,6 +56,7 @@ use std::panic::AssertUnwindSafe;
 use crate::comm::{CommError, Tag};
 use crate::fault::{FaultPlan, RankKilled};
 use crate::task::{Action, Executor, Msg, Payload, RankTask, TaskCtx, Wake};
+use crate::trace::{HbTrace, TraceEvent, TraceKind, TracedRun};
 
 /// Virtual time, in nanoseconds since the start of the run.
 pub type SimTime = u64;
@@ -93,6 +107,62 @@ pub struct SchedStats {
     /// Ranks killed by the fault plan.
     pub ranks_lost: u64,
 }
+
+/// Outputs plus scheduler statistics of a fallible engine run.
+pub type SchedOutcome<Out> = Result<(Vec<Option<Out>>, SchedStats), SchedError>;
+
+/// Everything `run_core` produces: the run outcome, the scheduler
+/// statistics, and the (possibly empty) happens-before trace.
+type CoreRun<Out> = (Result<Vec<Option<Out>>, SchedError>, SchedStats, HbTrace);
+
+/// A structured scheduler failure — the event engine's replacement for
+/// the former bare "virtual deadlock" panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The event heap drained while live ranks still waited on messages
+    /// that can never arrive.
+    Deadlock {
+        /// Wait cycles among the blocked ranks, each listed in wait
+        /// order and rotated to start at its smallest member (a rank in
+        /// a cycle waits on the next; the last waits on the first).
+        /// Empty when every blocked rank waits on something outside any
+        /// cycle — a dead, finished, or wildcard peer.
+        cycles: Vec<Vec<usize>>,
+        /// Every blocked rank, ascending.
+        blocked: Vec<usize>,
+        /// Virtual time at which the heap drained.
+        at_ns: SimTime,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Deadlock {
+                cycles,
+                blocked,
+                at_ns,
+            } => {
+                write!(
+                    f,
+                    "virtual deadlock: ranks {blocked:?} wait on messages that can never \
+                     arrive (no events left at virtual time {at_ns} ns)"
+                )?;
+                for cycle in cycles {
+                    let chain: Vec<String> = cycle
+                        .iter()
+                        .chain(cycle.first())
+                        .map(|r| r.to_string())
+                        .collect();
+                    write!(f, "; wait cycle: {}", chain.join(" -> "))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
 
 /// The event-driven executor. See the module docs for semantics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -249,6 +319,28 @@ struct Effects {
     timeouts: u64,
     stale_timers: u64,
     died: bool,
+    /// Happens-before events recorded during the step, appended to the
+    /// rank's trace lane at apply time. Only populated when `tracing`.
+    trace: Vec<TraceEvent>,
+    /// The trace hook: when false (the default), recording is a single
+    /// branch per call site and nothing allocates.
+    tracing: bool,
+}
+
+impl Effects {
+    fn armed(tracing: bool) -> Effects {
+        Effects {
+            tracing,
+            ..Effects::default()
+        }
+    }
+
+    /// Record `kind` at virtual time `at` — a no-op unless tracing.
+    fn rec(&mut self, at: SimTime, kind: TraceKind) {
+        if self.tracing {
+            self.trace.push(TraceEvent { kind, at_ns: at });
+        }
+    }
 }
 
 /// The [`TaskCtx`] a task sees while stepped by the event engine.
@@ -283,7 +375,10 @@ impl TaskCtx for EventCtx<'_> {
         if self.plan.kill_at(self.rank, op) {
             std::panic::panic_any(RankKilled);
         }
-        if !self.alive[dest] {
+        let ok = self.alive[dest];
+        self.effects
+            .rec(*self.local_now, TraceKind::Send { dest, tag, ok });
+        if !ok {
             return Err(CommError::disconnected(format!("send to rank {dest}")));
         }
         self.effects.sends.push(OutMsg {
@@ -334,6 +429,7 @@ fn feed<T: RankTask>(
                 state.wait = None;
                 state.buffer.clear();
                 effects.died = true;
+                effects.rec(state.local_now, TraceKind::Killed);
                 return;
             }
             // A genuine bug in task code: propagate, as the thread
@@ -345,6 +441,7 @@ fn feed<T: RankTask>(
                 let task = state.task.take().expect("task present");
                 state.out = Some(task.into_output());
                 state.done = true;
+                effects.rec(state.local_now, TraceKind::Done);
                 return;
             }
             Action::Recv { src, tag, timeout } => {
@@ -361,11 +458,21 @@ fn feed<T: RankTask>(
                     state.wait = None;
                     state.buffer.clear();
                     effects.died = true;
+                    effects.rec(state.local_now, TraceKind::Killed);
                     return;
                 }
                 let wait = Wait { src, tag };
                 if let Some(i) = state.buffer.iter().position(|m| wait.matches(m)) {
-                    wake = Wake::Message(state.buffer.remove(i));
+                    let msg = state.buffer.remove(i);
+                    effects.rec(
+                        state.local_now,
+                        TraceKind::Match {
+                            src: msg.src,
+                            tag: msg.tag,
+                            wildcard: wait.src.is_none(),
+                        },
+                    );
+                    wake = Wake::Message(msg);
                     continue;
                 }
                 state.wait_gen += 1;
@@ -375,6 +482,15 @@ fn feed<T: RankTask>(
                         .saturating_add(t.as_nanos().min(u128::from(u64::MAX)) as SimTime);
                     effects.timers.push((deadline, state.wait_gen));
                 }
+                effects.rec(
+                    state.local_now,
+                    TraceKind::WaitPost {
+                        src: wait.src,
+                        tag,
+                        timeout_ns: timeout
+                            .map(|t| t.as_nanos().min(u128::from(u64::MAX)) as u64),
+                    },
+                );
                 state.wait = Some(wait);
                 return;
             }
@@ -400,7 +516,10 @@ fn process_event<T: RankTask>(
     state.local_now = state.local_now.max(now);
     let rank = kind.rank();
     match kind {
-        EvKind::Start { .. } => feed(state, Wake::Start, size, plan, alive, effects, rank),
+        EvKind::Start { .. } => {
+            effects.rec(state.local_now, TraceKind::Start);
+            feed(state, Wake::Start, size, plan, alive, effects, rank)
+        }
         EvKind::Deliver { msg, .. } => {
             if !state.alive || state.done {
                 // The thread-engine analogue: a send that raced the
@@ -411,7 +530,16 @@ fn process_event<T: RankTask>(
             }
             match &state.wait {
                 Some(w) if w.matches(&msg) => {
+                    let wildcard = w.src.is_none();
                     state.wait = None;
+                    effects.rec(
+                        state.local_now,
+                        TraceKind::Match {
+                            src: msg.src,
+                            tag: msg.tag,
+                            wildcard,
+                        },
+                    );
                     feed(state, Wake::Message(msg), size, plan, alive, effects, rank);
                 }
                 _ => state.buffer.push(msg),
@@ -419,8 +547,15 @@ fn process_event<T: RankTask>(
         }
         EvKind::Timer { gen, .. } => {
             if state.alive && !state.done && state.wait.is_some() && gen == state.wait_gen {
-                state.wait = None;
+                let w = state.wait.take().expect("checked above");
                 effects.timeouts += 1;
+                effects.rec(
+                    state.local_now,
+                    TraceKind::Timeout {
+                        src: w.src,
+                        tag: w.tag,
+                    },
+                );
                 feed(state, Wake::Timeout, size, plan, alive, effects, rank);
             } else {
                 effects.stale_timers += 1;
@@ -431,7 +566,10 @@ fn process_event<T: RankTask>(
 
 impl EventEngine {
     /// Like [`Executor::run_tasks`], but also returns the run's
-    /// [`SchedStats`].
+    /// [`SchedStats`]. Panics with the [`SchedError`] message on a
+    /// virtual deadlock; use
+    /// [`try_run_tasks_with_stats`](EventEngine::try_run_tasks_with_stats)
+    /// for the structured error.
     pub fn run_tasks_with_stats<T, F>(
         &self,
         size: usize,
@@ -443,10 +581,65 @@ impl EventEngine {
         T::Out: Send + 'static,
         F: Fn(usize, usize) -> T,
     {
+        match self.try_run_tasks_with_stats(size, plan, make) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`run_tasks_with_stats`](EventEngine::run_tasks_with_stats),
+    /// but a virtual deadlock is a structured [`SchedError::Deadlock`]
+    /// naming the blocked ranks and their wait cycles, instead of a
+    /// panic.
+    pub fn try_run_tasks_with_stats<T, F>(
+        &self,
+        size: usize,
+        plan: FaultPlan,
+        make: F,
+    ) -> SchedOutcome<T::Out>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T,
+    {
+        let (outputs, stats, _) = self.run_core(size, plan, make, false);
+        outputs.map(|outs| (outs, stats))
+    }
+
+    /// Run with the happens-before trace hook armed. The trace (and
+    /// everything else) is byte-identical across worker-pool sizes, and
+    /// is returned even when the run deadlocks — so the analyzer can
+    /// name the wait cycle.
+    pub fn run_tasks_traced<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> TracedRun<T::Out>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T,
+    {
+        let (outputs, stats, trace) = self.run_core(size, plan, make, true);
+        TracedRun {
+            outputs,
+            stats: Some(stats),
+            trace,
+        }
+    }
+
+    fn run_core<T, F>(&self, size: usize, plan: FaultPlan, make: F, tracing: bool) -> CoreRun<T::Out>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T,
+    {
         assert!(size > 0, "world size must be positive");
+        crate::world::silence_injected_kill_panics();
         let latency = self.config.latency_ns.max(1);
         let workers = self.config.workers.max(1);
         let mut stats = SchedStats::default();
+        let mut trace = if tracing {
+            HbTrace::new(size)
+        } else {
+            HbTrace::default()
+        };
 
         let mut states: Vec<RankState<T>> =
             (0..size).map(|rank| RankState::new(make(rank, size))).collect();
@@ -491,7 +684,7 @@ impl EventEngine {
                         .map(|(rank, kinds)| {
                             let mut state =
                                 std::mem::replace(&mut states[rank], RankState::vacant());
-                            let mut effects = Effects::default();
+                            let mut effects = Effects::armed(tracing);
                             for kind in kinds {
                                 process_event(
                                     &mut state, now, kind, size, &plan, &alive, &mut effects,
@@ -520,7 +713,7 @@ impl EventEngine {
                                 handles.push(scope.spawn(move || {
                                     mine.into_iter()
                                         .map(|(rank, mut state, kinds)| {
-                                            let mut effects = Effects::default();
+                                            let mut effects = Effects::armed(tracing);
                                             for kind in kinds {
                                                 process_event(
                                                     &mut state, now, kind, size, plan, alive,
@@ -553,6 +746,9 @@ impl EventEngine {
                 stats.stale_timers += effects.stale_timers;
                 if effects.died {
                     stats.ranks_lost += 1;
+                }
+                if tracing {
+                    trace.events[rank].extend(effects.trace);
                 }
                 for out in effects.sends {
                     stats.messages += 1;
@@ -589,18 +785,24 @@ impl EventEngine {
         }
 
         // --- heap drained: every live task must have finished ---
-        let blocked: Vec<usize> = states
+        let blocked_waits: Vec<(usize, Option<usize>, Tag)> = states
             .iter()
             .enumerate()
             .filter(|(_, s)| s.alive && !s.done)
-            .map(|(r, _)| r)
+            .map(|(r, s)| match &s.wait {
+                Some(w) => (r, w.src, w.tag),
+                None => (r, None, 0),
+            })
             .collect();
-        assert!(
-            blocked.is_empty(),
-            "virtual deadlock: ranks {blocked:?} wait on messages that can never arrive \
-             (no events left at virtual time {} ns)",
-            stats.virtual_time_ns
-        );
+        let outcome = if blocked_waits.is_empty() {
+            Ok(states.into_iter().map(|s| s.out).collect())
+        } else {
+            Err(SchedError::Deadlock {
+                cycles: crate::hb::find_wait_cycles(&blocked_waits).cycles,
+                blocked: blocked_waits.iter().map(|&(r, _, _)| r).collect(),
+                at_ns: stats.virtual_time_ns,
+            })
+        };
 
         let metrics = caliper_data::metrics::global();
         metrics.counter_volatile("mpisim.sched.events").add(stats.events);
@@ -620,8 +822,7 @@ impl EventEngine {
             .counter_volatile("mpisim.ranks_lost")
             .add(stats.ranks_lost);
 
-        let outs = states.into_iter().map(|s| s.out).collect();
-        (outs, stats)
+        (outcome, stats, trace)
     }
 }
 
@@ -637,6 +838,30 @@ impl Executor for EventEngine {
         F: Fn(usize, usize) -> T + Send + Sync + 'static,
     {
         self.run_tasks_with_stats(size, plan, make).0
+    }
+
+    fn try_run_tasks<T, F>(
+        &self,
+        size: usize,
+        plan: FaultPlan,
+        make: F,
+    ) -> Result<Vec<Option<T::Out>>, SchedError>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        self.try_run_tasks_with_stats(size, plan, make)
+            .map(|(outs, _)| outs)
+    }
+
+    fn run_tasks_traced<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> TracedRun<T::Out>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        EventEngine::run_tasks_traced(self, size, plan, make)
     }
 }
 
@@ -772,8 +997,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "virtual deadlock")]
-    fn unbounded_wait_with_no_sender_is_a_virtual_deadlock() {
+    fn unbounded_wait_with_no_sender_is_a_structured_deadlock() {
         struct WaitForever;
         impl RankTask for WaitForever {
             type Out = ();
@@ -786,6 +1010,87 @@ mod tests {
             }
             fn into_output(self) {}
         }
-        EventEngine::new().run_tasks_with_stats(1, FaultPlan::new(), |_, _| WaitForever);
+        let err = EventEngine::new()
+            .try_run_tasks_with_stats(1, FaultPlan::new(), |_, _| WaitForever)
+            .unwrap_err();
+        let SchedError::Deadlock {
+            cycles, blocked, ..
+        } = &err;
+        assert_eq!(blocked, &vec![0]);
+        assert!(cycles.is_empty(), "a wildcard wait is not a cycle");
+        let msg = err.to_string();
+        assert!(msg.contains("virtual deadlock"), "{msg}");
+        assert!(msg.contains("[0]"), "{msg}");
+    }
+
+    #[test]
+    fn mutual_waits_name_the_exact_cycle() {
+        /// Waits forever on a specific peer; never sends.
+        struct WaitOn(usize);
+        impl RankTask for WaitOn {
+            type Out = ();
+            fn step(&mut self, _ctx: &mut dyn TaskCtx, _wake: Wake) -> Action {
+                Action::Recv {
+                    src: Some(self.0),
+                    tag: 1,
+                    timeout: None,
+                }
+            }
+            fn into_output(self) {}
+        }
+        // A 3-cycle: 0 waits on 1 waits on 2 waits on 0.
+        let err = EventEngine::new()
+            .try_run_tasks_with_stats(3, FaultPlan::new(), |rank, size| WaitOn((rank + 1) % size))
+            .unwrap_err();
+        let SchedError::Deadlock {
+            cycles, blocked, ..
+        } = &err;
+        assert_eq!(blocked, &vec![0, 1, 2]);
+        assert_eq!(cycles, &vec![vec![0, 1, 2]]);
+        assert!(
+            err.to_string().contains("wait cycle: 0 -> 1 -> 2 -> 0"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_is_worker_invariant() {
+        let plan = || {
+            FaultPlan::new()
+                .kill(9, 1)
+                .delay(3, 0, Duration::from_millis(2))
+        };
+        let run = |workers: usize| {
+            let engine = EventEngine::with_workers(workers);
+            engine.run_tasks_traced(64, plan(), move |rank, size| {
+                ReduceTask::new(
+                    rank,
+                    size,
+                    Topology::TwoLevel { ranks_per_node: 8 },
+                    move || rank as u64,
+                    |a: u64, b: u64| a + b,
+                    ResilienceOptions::default(),
+                )
+            })
+        };
+        let base = run(1);
+        let (outs, stats) = sum_reduce(
+            &EventEngine::new(),
+            64,
+            plan(),
+            Topology::TwoLevel { ranks_per_node: 8 },
+            ResilienceOptions::default(),
+        );
+        // Tracing must not perturb the run itself.
+        assert_eq!(
+            format!("{:?}", base.outputs.as_ref().unwrap()),
+            format!("{outs:?}")
+        );
+        assert_eq!(base.stats, Some(stats));
+        assert!(!base.trace.is_empty());
+        for workers in [2, 4] {
+            let other = run(workers);
+            assert_eq!(base.trace, other.trace, "workers {workers}");
+        }
     }
 }

@@ -33,6 +33,8 @@ use std::time::Duration;
 use crate::collectives::{ReduceCoverage, ResilienceOptions, TAG_RESIL};
 use crate::comm::{CommError, Tag};
 use crate::fault::FaultPlan;
+use crate::sched::SchedError;
+use crate::trace::TracedRun;
 
 /// A type-erased message payload, exactly what the thread engine's
 /// channels carry.
@@ -132,6 +134,38 @@ pub trait Executor {
 
     /// Run `make(rank, size)` tasks on all `size` ranks under `plan`.
     fn run_tasks<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> Vec<Option<T::Out>>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static;
+
+    /// Like [`run_tasks`](Executor::run_tasks), but a detected
+    /// scheduling failure is a structured [`SchedError`] instead of a
+    /// panic. Only the event engine can *detect* a virtual deadlock
+    /// (the thread engine's blocked ranks simply block); the default
+    /// implementation therefore just delegates.
+    fn try_run_tasks<T, F>(
+        &self,
+        size: usize,
+        plan: FaultPlan,
+        make: F,
+    ) -> Result<Vec<Option<T::Out>>, SchedError>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        Ok(self.run_tasks(size, plan, make))
+    }
+
+    /// Run with the happens-before trace hook armed (see
+    /// [`crate::trace`]): returns the outputs *and* the recorded
+    /// [`HbTrace`](crate::trace::HbTrace) for offline analysis. On the
+    /// event engine the trace is deterministic (virtual timestamps,
+    /// worker-pool invariant) and survives a deadlock; on the thread
+    /// engine timestamps are wall-clock but the happens-before
+    /// structure is faithful.
+    fn run_tasks_traced<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> TracedRun<T::Out>
     where
         T: RankTask + Send,
         T::Out: Send + 'static,

@@ -16,6 +16,7 @@ use crossbeam::channel::unbounded;
 use crate::comm::{Comm, CommError, Packet, Tag};
 use crate::fault::{FaultPlan, RankKilled};
 use crate::task::{Action, Executor, Payload, RankTask, TaskCtx, Wake};
+use crate::trace::{SharedTrace, TraceKind, TracedRun};
 
 /// Run `body` on `size` simulated ranks, each on its own thread, and
 /// collect the per-rank return values in rank order.
@@ -27,7 +28,7 @@ where
     R: Send + 'static,
     F: Fn(Comm) -> R + Send + Sync + 'static,
 {
-    launch(size, None, body)
+    launch(size, None, None, body)
         .into_iter()
         .enumerate()
         .map(|(rank, r)| match r {
@@ -62,6 +63,20 @@ where
     R: Send + 'static,
     F: Fn(Comm) -> R + Send + Sync + 'static,
 {
+    run_with_faults_inner(size, plan, None, body)
+}
+
+/// [`run_with_faults`] with an optional armed trace collector.
+fn run_with_faults_inner<R, F>(
+    size: usize,
+    plan: FaultPlan,
+    trace: Option<Arc<SharedTrace>>,
+    body: F,
+) -> Vec<Option<R>>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
     if plan.has_kills() {
         silence_injected_kill_panics();
     }
@@ -70,7 +85,7 @@ where
     } else {
         Some(Arc::new(plan))
     };
-    launch(size, faults, body)
+    launch(size, faults, trace, body)
         .into_iter()
         .enumerate()
         .map(|(rank, r)| match r {
@@ -91,6 +106,7 @@ where
 fn launch<R, F>(
     size: usize,
     faults: Option<Arc<FaultPlan>>,
+    trace: Option<Arc<SharedTrace>>,
     body: F,
 ) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
 where
@@ -113,16 +129,25 @@ where
         let inboxes = Arc::clone(&inboxes);
         let body = Arc::clone(&body);
         let faults = faults.clone();
+        let trace = trace.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .spawn(move || {
-                    let comm = Comm::new(rank, size, inboxes, inbox, faults);
+                    let mut comm = Comm::new(rank, size, inboxes, inbox, faults);
+                    if let Some(t) = &trace {
+                        comm.set_trace(Arc::clone(t));
+                        t.record(rank, TraceKind::Start);
+                    }
                     // Catch the unwind here so the Comm (and with it the
                     // rank's inbox receiver) is dropped the moment the
                     // rank dies — that drop is what lets survivors see
                     // sends to this rank fail.
-                    std::panic::catch_unwind(AssertUnwindSafe(|| body(comm)))
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| body(comm)));
+                    if let (Some(t), Ok(_)) = (&trace, &out) {
+                        t.record(rank, TraceKind::Done);
+                    }
+                    out
                 })
                 .expect("spawn rank thread"),
         );
@@ -203,6 +228,27 @@ impl Executor for ThreadEngine {
             drive_task(&mut comm, task)
         })
     }
+
+    fn run_tasks_traced<T, F>(&self, size: usize, plan: FaultPlan, make: F) -> TracedRun<T::Out>
+    where
+        T: RankTask + Send,
+        T::Out: Send + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        let shared = Arc::new(SharedTrace::new(size));
+        let outputs = run_with_faults_inner(size, plan, Some(Arc::clone(&shared)), move |mut comm| {
+            let task = make(comm.rank(), comm.size());
+            drive_task(&mut comm, task)
+        });
+        let trace = Arc::try_unwrap(shared)
+            .expect("all rank threads joined, no collector clones remain")
+            .into_trace();
+        TracedRun {
+            outputs: Ok(outputs),
+            stats: None,
+            trace,
+        }
+    }
 }
 
 fn resume_rank_panic(rank: usize, e: Box<dyn std::any::Any + Send>) -> ! {
@@ -218,7 +264,7 @@ fn resume_rank_panic(rank: usize, e: Box<dyn std::any::Any + Send>) -> ! {
 /// "thread panicked" stderr message for [`RankKilled`] unwinds — those
 /// are scripted, expected deaths, not noise-worthy failures. All other
 /// panics go to the previously installed hook untouched.
-fn silence_injected_kill_panics() {
+pub(crate) fn silence_injected_kill_panics() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let prev = std::panic::take_hook();

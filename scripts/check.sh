@@ -337,4 +337,45 @@ grep -q "," "$smoke/served-before.csv" || {
     exit 1
 }
 echo "check.sh: served smoke: ingest->query->drain->restart recovered byte-identically"
+
+# Race-analysis gate: the 2048-rank seeded-kill two-level reduction
+# must certify race- and deadlock-free, with a certificate that is
+# byte-identical across repeat runs and event-engine worker pools; and
+# the deliberately faulty demo programs must keep the analyzer's pinned
+# exit-code contract (0 clean / 1 warnings denied / 2 errors; model in
+# docs/ANALYSIS.md).
+race=./target/release/cali-race
+"$race" --ranks 2048 --kills 5 --nodes 32 --workers 1 > "$smoke/race-w1.cert"
+"$race" --ranks 2048 --kills 5 --nodes 32 --workers 1 > "$smoke/race-w1-again.cert"
+"$race" --ranks 2048 --kills 5 --nodes 32 --workers 4 > "$smoke/race-w4.cert"
+grep -q "verdict: CLEAN (race-free, deadlock-free)" "$smoke/race-w1.cert" || {
+    echo "check.sh: 2048-rank seeded-kill reduction did not certify clean" >&2
+    cat "$smoke/race-w1.cert" >&2
+    exit 1
+}
+cmp -s "$smoke/race-w1.cert" "$smoke/race-w1-again.cert" || {
+    echo "check.sh: cali-race certificate differs between repeat runs" >&2
+    exit 1
+}
+cmp -s "$smoke/race-w1.cert" "$smoke/race-w4.cert" || {
+    echo "check.sh: cali-race certificate differs across --workers 1/4" >&2
+    exit 1
+}
+for demo_want in wildcard-race:2 deadlock:2 straggler:0; do
+    demo=${demo_want%:*}
+    want=${demo_want#*:}
+    rc=0
+    "$race" --program "$demo" --ranks 8 > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "check.sh: cali-race --program $demo exited $rc, expected $want" >&2
+        exit 1
+    fi
+done
+rc=0
+"$race" --program straggler --ranks 8 --deny-warnings > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "check.sh: cali-race --deny-warnings exited $rc, expected 1" >&2
+    exit 1
+fi
+echo "check.sh: race analysis: 2048-rank certificate clean and deterministic, demo exit codes pinned"
 echo "check.sh: all gates passed"
